@@ -1,0 +1,89 @@
+// Shared glue for the figure/table reproduction benches: standard §7.1
+// scenario construction, slowdown summaries by request-size bucket, and
+// "paper vs. measured" report formatting. Every bench prints the series or
+// rows its figure reports plus a one-line headline comparison against the
+// paper's number; EXPERIMENTS.md records the results.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/metrics/fct.h"
+#include "src/topo/scenario.h"
+#include "src/util/table.h"
+
+namespace bundler {
+namespace bench {
+
+// The paper's default emulation (§7.1), scaled in duration only: 96 Mbit/s
+// bottleneck, 50 ms RTT, 84 Mbit/s offered web load, endhost Cubic, sendbox
+// Copa + Nimbus detection, SFQ scheduling. Callers override fields as their
+// figure requires.
+inline ExperimentConfig PaperScenario(bool bundler_on, uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.net.bottleneck_rate = Rate::Mbps(96);
+  cfg.net.rtt = TimeDelta::Millis(50);
+  cfg.net.bundler_enabled = bundler_on;
+  cfg.bundle_web_load = {Rate::Mbps(84)};
+  cfg.duration = TimeDelta::Seconds(60);
+  cfg.warmup = TimeDelta::Seconds(10);
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct SlowdownSummary {
+  double median = 0;
+  double p75 = 0;
+  double p99 = 0;
+  size_t n = 0;
+};
+
+inline SlowdownSummary Summarize(const FctRecorder& fct, const IdealFctFn& ideal,
+                                 RequestFilter filter) {
+  QuantileEstimator q = fct.Slowdowns(ideal, filter);
+  SlowdownSummary s;
+  s.n = q.count();
+  if (!q.empty()) {
+    s.median = q.Median();
+    s.p75 = q.Quantile(0.75);
+    s.p99 = q.Quantile(0.99);
+  }
+  return s;
+}
+
+// Buckets used throughout §7: all, <10 KB, 10 KB-1 MB, >1 MB.
+inline std::vector<std::pair<std::string, RequestFilter>> SizeBuckets(TimePoint warmup) {
+  RequestFilter all;
+  all.min_start = warmup;
+  RequestFilter small = RequestFilter::SmallFlows();
+  small.min_start = warmup;
+  RequestFilter medium = RequestFilter::MediumFlows();
+  medium.min_start = warmup;
+  RequestFilter large = RequestFilter::LargeFlows();
+  large.min_start = warmup;
+  return {{"all", all}, {"<10KB", small}, {"10KB-1MB", medium}, {">1MB", large}};
+}
+
+inline void PrintHeader(const char* id, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("Paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void PrintHeadline(const char* fmt, ...) {
+  std::printf("\n>>> ");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace bundler
+
+#endif  // BENCH_BENCH_COMMON_H_

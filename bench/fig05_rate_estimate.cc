@@ -1,0 +1,43 @@
+// Figure 5: accuracy of Bundler's receive-rate estimate. The paper reports
+// that 80% of receive-rate estimates fall within 4 Mbit/s of the value
+// measured at the bottleneck router, across 90 traces spanning link delays
+// {20, 50, 100 ms} and rates {24, 48, 96 Mbit/s}.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/estimate_sweep.h"
+
+namespace bundler {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 5 — receive-rate estimate accuracy",
+                     "80% of receive-rate estimates within 4 Mbit/s of the actual "
+                     "value at the bottleneck");
+
+  bench::EstimateSweepResult r = bench::RunEstimateSweep();
+
+  bench::PrintSegment("receive rate (Mbit/s)", r.rate_segment);
+
+  std::printf("\ndistribution of (estimated - actual) receive rate, %zu samples:\n",
+              r.rate_diff_mbps.count());
+  Table t({"quantile", "diff (Mbit/s)"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    t.AddRow({"p" + std::to_string(static_cast<int>(q * 100)),
+              Table::Num(r.rate_diff_mbps.Quantile(q))});
+  }
+  t.Print();
+
+  double within = r.rate_diff_mbps.FractionWithinAbs(4.0);
+  bench::PrintHeadline(
+      "%.0f%% of receive-rate estimates within 4 Mbit/s of actual (paper: 80%%)",
+      within * 100);
+}
+
+}  // namespace
+}  // namespace bundler
+
+int main() {
+  bundler::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6: accuracy of Bundler's RTT estimate. The paper reports that 80%
+// of RTT estimates fall within 1.2 ms of the actual value measured at the
+// bottleneck router, across the same 90-trace sweep as Figure 5.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/estimate_sweep.h"
+
+namespace bundler {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 6 — RTT estimate accuracy",
+                     "80% of RTT estimates within 1.2 ms of the actual value");
+
+  bench::EstimateSweepResult r = bench::RunEstimateSweep();
+
+  bench::PrintSegment("RTT (ms)", r.rtt_segment);
+
+  std::printf("\ndistribution of (estimated - actual) RTT, %zu samples:\n",
+              r.rtt_diff_ms.count());
+  Table t({"quantile", "diff (ms)"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    t.AddRow({"p" + std::to_string(static_cast<int>(q * 100)),
+              Table::Num(r.rtt_diff_ms.Quantile(q))});
+  }
+  t.Print();
+
+  double within = r.rtt_diff_ms.FractionWithinAbs(1.2);
+  bench::PrintHeadline("%.0f%% of RTT estimates within 1.2 ms of actual (paper: 80%%)",
+                       within * 100);
+}
+
+}  // namespace
+}  // namespace bundler
+
+int main() {
+  bundler::Run();
+  return 0;
+}

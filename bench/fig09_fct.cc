@@ -1,0 +1,91 @@
+// Figure 9: FCT slowdown distributions under the §7.1 workload for four
+// configurations — Status Quo (FIFO bottleneck, no Bundler), Bundler+SFQ,
+// Bundler+FIFO, and In-Network fair queueing (DRR at the bottleneck).
+//
+// Paper numbers (median slowdown across all sizes): Status Quo 1.76,
+// Bundler+SFQ 1.26 (28% lower), In-Network 1.07 (a further 15% lower);
+// p99: Bundler 41.38 vs Status Quo 79.37 (48% lower); Bundler+FIFO is worse
+// than Status Quo.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace bundler {
+namespace {
+
+struct Variant {
+  std::string name;
+  bool bundler;
+  bool in_network_fq;
+  SchedulerType sched;
+};
+
+void Run() {
+  bench::PrintHeader("Figure 9 — FCT distributions (median slowdown by request size)",
+                     "StatusQuo 1.76 / Bundler+SFQ 1.26 / InNetwork 1.07; "
+                     "p99 79.37 / 41.38 / 27.49; Bundler+FIFO worse than StatusQuo");
+
+  const std::vector<Variant> variants = {
+      {"StatusQuo", false, false, SchedulerType::kSfq},
+      {"Bundler+SFQ", true, false, SchedulerType::kSfq},
+      {"Bundler+FIFO", true, false, SchedulerType::kFifo},
+      {"In-Network", false, true, SchedulerType::kSfq},
+  };
+  const int kRuns = 3;
+
+  IdealFctCache ideal(Rate::Mbps(96), TimeDelta::Millis(50), HostCcType::kCubic);
+  IdealFctFn ideal_fn = ideal.Fn();
+
+  Table table({"config", "bucket", "median", "p75", "p99", "requests"});
+  double medians[4] = {0, 0, 0, 0};
+  double p99s[4] = {0, 0, 0, 0};
+
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const Variant& var = variants[v];
+    // Pool slowdowns across seeds (the paper pools 10 runs).
+    QuantileEstimator pooled[4];
+    for (int run = 0; run < kRuns; ++run) {
+      ExperimentConfig cfg = bench::PaperScenario(var.bundler, /*seed=*/run + 1);
+      cfg.net.in_network_fq = var.in_network_fq;
+      cfg.net.sendbox.scheduler = var.sched;
+      Experiment e(cfg);
+      e.Run();
+      auto buckets = bench::SizeBuckets(TimePoint::Zero() + cfg.warmup);
+      for (size_t b = 0; b < buckets.size(); ++b) {
+        pooled[b].AddAll(e.fct()->Slowdowns(ideal_fn, buckets[b].second).samples());
+      }
+    }
+    const char* bucket_names[4] = {"all", "<10KB", "10KB-1MB", ">1MB"};
+    for (size_t b = 0; b < 4; ++b) {
+      table.AddRow({var.name, bucket_names[b], Table::Num(pooled[b].Median()),
+                    Table::Num(pooled[b].Quantile(0.75)),
+                    Table::Num(pooled[b].Quantile(0.99)),
+                    std::to_string(pooled[b].count())});
+    }
+    medians[v] = pooled[0].Median();
+    p99s[v] = pooled[0].Quantile(0.99);
+  }
+  table.Print();
+
+  double bundler_vs_sq = (1 - medians[1] / medians[0]) * 100;
+  double innet_vs_bundler = (1 - medians[3] / medians[1]) * 100;
+  double p99_reduction = (1 - p99s[1] / p99s[0]) * 100;
+  bench::PrintHeadline(
+      "median slowdown: StatusQuo %.2f, Bundler+SFQ %.2f (%.0f%% lower; paper 28%%), "
+      "In-Network %.2f (%.0f%% below Bundler; paper 15%%)",
+      medians[0], medians[1], bundler_vs_sq, medians[3], innet_vs_bundler);
+  bench::PrintHeadline(
+      "p99 slowdown: StatusQuo %.1f vs Bundler+SFQ %.1f (%.0f%% lower; paper 48%%); "
+      "Bundler+FIFO median %.2f vs StatusQuo %.2f (paper: FIFO worse)",
+      p99s[0], p99s[1], p99_reduction, medians[2], medians[0]);
+}
+
+}  // namespace
+}  // namespace bundler
+
+int main() {
+  bundler::Run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Datapath micro-costs (§6.1): the paper's only added per-packet work is the
+// FNV boundary hash ("4 integer multiplications ... negligible CPU
+// overhead"). These google-benchmark microbenchmarks measure the hash, the
+// epoch boundary check, each qdisc's enqueue+dequeue cost, the token-bucket
+// shaper decision, and the simulator's event queue — the entire per-packet
+// budget of the simulated datapath.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/bundler/epoch.h"
+#include "src/qdisc/fifo.h"
+#include "src/qdisc/fq_codel.h"
+#include "src/qdisc/prio.h"
+#include "src/qdisc/sfq.h"
+#include "src/sim/event_queue.h"
+#include "src/util/fnv.h"
+
+namespace bundler {
+namespace {
+
+Packet TypicalPacket(uint64_t i) {
+  Packet p;
+  p.flow_id = i % 64;
+  p.key.src = MakeAddress(10, static_cast<uint16_t>(i % 200));
+  p.key.dst = MakeAddress(100, 1);
+  p.key.src_port = 80;
+  p.key.dst_port = static_cast<uint16_t>(1024 + i % 5000);
+  p.ip_id = static_cast<uint16_t>(i);
+  p.size_bytes = kMtuBytes;
+  return p;
+}
+
+void BM_BoundaryHash(benchmark::State& state) {
+  Packet p = TypicalPacket(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    p.ip_id = static_cast<uint16_t>(++i);
+    benchmark::DoNotOptimize(BoundaryHash(p));
+  }
+}
+BENCHMARK(BM_BoundaryHash);
+
+void BM_BoundaryCheck(benchmark::State& state) {
+  Packet p = TypicalPacket(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    p.ip_id = static_cast<uint16_t>(++i);
+    benchmark::DoNotOptimize(IsEpochBoundary(BoundaryHash(p), 16));
+  }
+}
+BENCHMARK(BM_BoundaryCheck);
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 0x12345678;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+template <typename MakeQdisc>
+void QdiscChurn(benchmark::State& state, MakeQdisc make) {
+  auto q = make();
+  TimePoint now;
+  uint64_t i = 0;
+  // Keep ~64 packets resident so dequeue always finds work.
+  for (int k = 0; k < 64; ++k) {
+    q->Enqueue(TypicalPacket(i++), now);
+  }
+  for (auto _ : state) {
+    now += TimeDelta::Micros(1);
+    q->Enqueue(TypicalPacket(i++), now);
+    benchmark::DoNotOptimize(q->Dequeue(now));
+  }
+}
+
+void BM_DropTailChurn(benchmark::State& state) {
+  QdiscChurn(state, [] { return std::make_unique<DropTailFifo>(1 << 20); });
+}
+BENCHMARK(BM_DropTailChurn);
+
+void BM_SfqChurn(benchmark::State& state) {
+  QdiscChurn(state, [] {
+    Sfq::Config cfg;
+    cfg.limit_packets = 1024;
+    return std::make_unique<Sfq>(cfg);
+  });
+}
+BENCHMARK(BM_SfqChurn);
+
+void BM_FqCodelChurn(benchmark::State& state) {
+  QdiscChurn(state, [] {
+    FqCodel::Config cfg;
+    cfg.limit_packets = 1024;
+    return std::make_unique<FqCodel>(cfg);
+  });
+}
+BENCHMARK(BM_FqCodelChurn);
+
+void BM_StrictPrioChurn(benchmark::State& state) {
+  QdiscChurn(state, [] { return std::make_unique<StrictPrio>(3, 1 << 20); });
+}
+BENCHMARK(BM_StrictPrioChurn);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  TimePoint now;
+  // Steady-state heap of 4096 pending timers.
+  for (int i = 0; i < 4096; ++i) {
+    q.Push(now + TimeDelta::Micros(i), [] {});
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    q.Push(now + TimeDelta::Micros(4096 + i++), [] {});
+    TimePoint t;
+    benchmark::DoNotOptimize(q.PopNext(&t));
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+}  // namespace
+}  // namespace bundler
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Multi-region deployment, modeled on the paper's real-Internet evaluation
+// (§8): an application spans one hub site and several remote regions, with a
+// deep-buffered bottleneck (e.g. a provider egress limiter) somewhere on each
+// path. Latency-sensitive request/response traffic shares each bundle with
+// bulk transfers. Deploying a sendbox at the hub and a receivebox per region
+// restores near-floor latencies without touching the provider network.
+//
+// Usage: multi_site_wan [duration_seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/topo/internet.h"
+#include "src/util/table.h"
+
+using namespace bundler;
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::atof(argv[1]) : 40.0;
+  TimeDelta duration = TimeDelta::SecondsF(seconds);
+  TimeDelta warmup = TimeDelta::SecondsF(seconds * 0.25);
+
+  std::printf(
+      "Multi-region WAN example: hub -> five regions, each with 10 closed-loop\n"
+      "request/response pairs + 20 bulk flows; %.0f s per run.\n\n",
+      seconds);
+
+  Table table({"region", "base RTT", "StatusQuo p50/p90", "Bundler p50/p90",
+               "bulk tput delta"});
+  double sq_sum = 0, bd_sum = 0;
+  int n = 0;
+
+  for (const WanPathSpec& spec : DefaultWanPaths()) {
+    WanRunResult base = RunWanPath(spec, WanMode::kBase, duration, warmup, 1);
+    WanRunResult sq = RunWanPath(spec, WanMode::kStatusQuo, duration, warmup, 1);
+    WanRunResult bd = RunWanPath(spec, WanMode::kBundler, duration, warmup, 1);
+    double tput_delta = sq.bulk_goodput_mbps > 0
+                            ? (bd.bulk_goodput_mbps / sq.bulk_goodput_mbps - 1) * 100
+                            : 0;
+    table.AddRow({spec.name, Table::Num(base.rtt_ms_p50, 0) + " ms",
+                  Table::Num(sq.rtt_ms_p50, 0) + " / " + Table::Num(sq.rtt_ms_p90, 0),
+                  Table::Num(bd.rtt_ms_p50, 0) + " / " + Table::Num(bd.rtt_ms_p90, 0),
+                  Table::Num(tput_delta, 1) + "%"});
+    sq_sum += sq.rtt_ms_p50;
+    bd_sum += bd.rtt_ms_p50;
+    ++n;
+  }
+  table.Print();
+
+  std::printf(
+      "\nAcross %d regions, Bundler cuts the median request-response RTT by %.0f%%\n"
+      "relative to the status quo (paper's real-Internet deployment: 57%%),\n"
+      "without giving up bulk throughput. No provider cooperation required:\n"
+      "only the two site-edge boxes are deployed.\n",
+      n, (1 - bd_sum / sq_sum) * 100);
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "src/app/size_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+SizeCdf::SizeCdf(const std::vector<Anchor>& anchors, int points_per_segment) {
+  BUNDLER_CHECK(anchors.size() >= 2);
+  BUNDLER_CHECK(points_per_segment >= 1);
+  BUNDLER_CHECK(anchors.back().cdf == 1.0);
+  double prev_cdf = anchors.front().cdf;
+  // Mass at or below the first anchor collapses onto that size.
+  if (prev_cdf > 0.0) {
+    support_.push_back({anchors.front().bytes, prev_cdf});
+  }
+  for (size_t i = 1; i < anchors.size(); ++i) {
+    const Anchor& a = anchors[i - 1];
+    const Anchor& b = anchors[i];
+    BUNDLER_CHECK(b.bytes > a.bytes);
+    BUNDLER_CHECK(b.cdf >= a.cdf);
+    double seg_mass = b.cdf - a.cdf;
+    if (seg_mass <= 0.0) {
+      continue;
+    }
+    // Log-spaced sizes within the segment; mass uniform across points (the
+    // standard log-linear CDF interpolation).
+    double log_a = std::log(static_cast<double>(a.bytes));
+    double log_b = std::log(static_cast<double>(b.bytes));
+    for (int k = 1; k <= points_per_segment; ++k) {
+      double frac = static_cast<double>(k) / points_per_segment;
+      int64_t size = static_cast<int64_t>(std::exp(log_a + (log_b - log_a) * frac) + 0.5);
+      size = std::max<int64_t>(size, a.bytes + 1);
+      double mass = seg_mass / points_per_segment;
+      if (!support_.empty() && support_.back().bytes == size) {
+        support_.back().pmf += mass;
+      } else {
+        support_.push_back({size, mass});
+      }
+    }
+  }
+  cumulative_.reserve(support_.size());
+  double acc = 0.0;
+  for (const Point& p : support_) {
+    acc += p.pmf;
+    cumulative_.push_back(acc);
+    mean_bytes_ += static_cast<double>(p.bytes) * p.pmf;
+  }
+  BUNDLER_CHECK(std::abs(acc - 1.0) < 1e-9);
+  // Fold the floating-point residual into the last point so the distribution
+  // sums to exactly 1 (CdfAt(max) == 1.0, Sample never falls off the end).
+  support_.back().pmf += 1.0 - acc;
+  cumulative_.back() = 1.0;
+}
+
+SizeCdf SizeCdf::InternetCoreRouter() {
+  // Anchors chosen to match the quoted shape: median well under 1 KB,
+  // CDF(10 KB) = 0.976, P(size > 5 MB) = 0.002%, max 100 MB.
+  const std::vector<Anchor> anchors = {
+      {40, 0.00},       {100, 0.15},      {200, 0.25},       {400, 0.40},
+      {700, 0.50},      {1000, 0.60},     {2000, 0.75},      {5000, 0.90},
+      {10000, 0.976},   {30000, 0.990},   {100000, 0.996},   {300000, 0.998},
+      {1000000, 0.999}, {5000000, 0.99998}, {100000000, 1.0},
+  };
+  return SizeCdf(anchors, 6);
+}
+
+int64_t SizeCdf::Sample(Rng& rng) const {
+  double r = rng.NextDouble();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), r);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  if (idx >= support_.size()) {
+    idx = support_.size() - 1;
+  }
+  return support_[idx].bytes;
+}
+
+double SizeCdf::CdfAt(int64_t bytes) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    if (support_[i].bytes > bytes) {
+      break;
+    }
+    acc = cumulative_[i];
+  }
+  return acc;
+}
+
+}  // namespace bundler

@@ -1,0 +1,53 @@
+// Empirical request-size distribution with discrete support.
+//
+// The paper draws request sizes from a CAIDA Internet-core-router trace
+// (§7.1): heavy-tailed, 97.6% of requests <= 10 KB, and the largest 0.002%
+// between 5 MB and 100 MB. We reconstruct a CDF matching those quoted
+// quantiles with log-linear interpolation between anchors, then discretize
+// onto ~100 log-spaced sizes. The discrete support keeps the unloaded-network
+// ideal FCT exactly computable per size (slowdown denominators, §7.2).
+#ifndef SRC_APP_SIZE_CDF_H_
+#define SRC_APP_SIZE_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace bundler {
+
+class SizeCdf {
+ public:
+  struct Anchor {
+    int64_t bytes;
+    double cdf;
+  };
+  struct Point {
+    int64_t bytes;
+    double pmf;
+  };
+
+  // Build from anchors ((bytes, cumulative probability), strictly increasing,
+  // last cdf == 1.0), discretizing each segment into `points_per_segment`
+  // log-spaced sizes.
+  SizeCdf(const std::vector<Anchor>& anchors, int points_per_segment);
+
+  // The distribution described in §7.1.
+  static SizeCdf InternetCoreRouter();
+
+  int64_t Sample(Rng& rng) const;
+  double MeanBytes() const { return mean_bytes_; }
+  const std::vector<Point>& support() const { return support_; }
+
+  // Empirical CDF at `bytes` (fraction of mass at sizes <= bytes).
+  double CdfAt(int64_t bytes) const;
+
+ private:
+  std::vector<Point> support_;
+  std::vector<double> cumulative_;  // matching prefix sums for sampling
+  double mean_bytes_ = 0.0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_APP_SIZE_CDF_H_

@@ -1,0 +1,109 @@
+// Workload generators (§7.1): an open-loop Poisson stream of web requests
+// drawn from a heavy-tailed size CDF ("a many-threaded client generates
+// requests ... each server sends the requested amount of data back"), and
+// backlogged bulk (iperf-like) senders.
+#ifndef SRC_APP_WORKLOAD_H_
+#define SRC_APP_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/app/size_cdf.h"
+#include "src/metrics/fct.h"
+#include "src/sim/simulator.h"
+#include "src/transport/tcp_flow.h"
+#include "src/util/random.h"
+
+namespace bundler {
+
+struct WebWorkloadConfig {
+  Rate offered_load = Rate::Mbps(84);
+  TimePoint start = TimePoint::Zero();
+  TimePoint stop = TimePoint::Infinite();
+  HostCcType host_cc = HostCcType::kCubic;
+  double const_cwnd_pkts = 450.0;
+  uint8_t priority = 0;
+};
+
+// Poisson request arrivals; each request becomes a fresh TCP flow from
+// `server` to `client` with a sampled size, recorded in `fct`.
+class PoissonWebWorkload {
+ public:
+  PoissonWebWorkload(Simulator* sim, FlowTable* flows, Host* server, Host* client,
+                     const SizeCdf* cdf, const WebWorkloadConfig& config, uint64_t seed,
+                     FctRecorder* fct);
+  ~PoissonWebWorkload();
+  PoissonWebWorkload(const PoissonWebWorkload&) = delete;
+  PoissonWebWorkload& operator=(const PoissonWebWorkload&) = delete;
+
+  uint64_t issued() const { return issued_; }
+
+ private:
+  void ScheduleNext();
+  void IssueRequest();
+
+  Simulator* sim_;
+  FlowTable* flows_;
+  Host* server_;
+  Host* client_;
+  const SizeCdf* cdf_;
+  WebWorkloadConfig config_;
+  Rng rng_;
+  FctRecorder* fct_;
+  double mean_interarrival_s_;
+  EventId timer_ = kInvalidEventId;
+  uint64_t issued_ = 0;
+};
+
+// Wire size of the small client->server request message.
+inline constexpr uint32_t kRequestBytes = 92;
+
+// One request-response exchange: the client sends a small request packet to
+// the server (retried with backoff if lost); on receipt the server starts the
+// TCP response flow back to the client. FCT therefore spans the full
+// round trip from the application's issue time to the last response byte,
+// matching the paper's request-response workload (§7.1).
+class RequestResponse : public PacketHandler {
+ public:
+  RequestResponse(Simulator* sim, FlowTable* flows, Host* server, Host* client,
+                  const TcpFlowParams& params, std::function<void(TimePoint)> on_complete);
+  ~RequestResponse() override;
+  RequestResponse(const RequestResponse&) = delete;
+  RequestResponse& operator=(const RequestResponse&) = delete;
+
+  // The request packet arriving at the server.
+  void HandlePacket(Packet pkt) override;
+
+  bool started() const { return started_; }
+
+ private:
+  static constexpr int kMaxAttempts = 15;
+
+  void SendRequest();
+
+  Simulator* sim_;
+  FlowTable* flows_;
+  Host* server_;
+  Host* client_;
+  TcpFlowParams params_;
+  std::function<void(TimePoint)> on_complete_;
+  uint64_t request_flow_id_;
+  FlowKey request_key_;
+  bool started_ = false;
+  int attempts_ = 0;
+  EventId retry_timer_ = kInvalidEventId;
+};
+
+// `count` backlogged flows from server to client, started at `start`.
+// Returns the senders (for throughput accounting).
+std::vector<TcpSender*> StartBulkFlows(Simulator* sim, FlowTable* flows, Host* server,
+                                       Host* client, int count, HostCcType cc,
+                                       TimePoint start);
+
+// One request-response exchange of `size_bytes`, recorded in `fct`.
+void IssueSingleRequest(Simulator* sim, FlowTable* flows, Host* server, Host* client,
+                        int64_t size_bytes, HostCcType cc, FctRecorder* fct,
+                        uint8_t priority = 0);
+
+}  // namespace bundler
+
+#endif  // SRC_APP_WORKLOAD_H_

@@ -1,0 +1,44 @@
+#include "src/bundler/epoch.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/fnv.h"
+
+namespace bundler {
+
+uint64_t BoundaryHash(const Packet& pkt) {
+  const uint64_t fields[] = {static_cast<uint64_t>(pkt.ip_id),
+                             static_cast<uint64_t>(pkt.key.dst),
+                             static_cast<uint64_t>(pkt.key.dst_port)};
+  return Fnv1a64Combine(fields, 3);
+}
+
+bool IsEpochBoundary(uint64_t hash, uint32_t n_pkts) {
+  BUNDLER_CHECK(n_pkts != 0 && (n_pkts & (n_pkts - 1)) == 0);
+  return (hash & (n_pkts - 1)) == 0;
+}
+
+uint32_t RoundDownPow2(uint64_t v) {
+  if (v == 0) {
+    return 1;
+  }
+  uint32_t p = 1;
+  while (static_cast<uint64_t>(p) * 2 <= v && p < (1u << 30)) {
+    p *= 2;
+  }
+  return p;
+}
+
+uint32_t ComputeEpochSizePkts(TimeDelta min_rtt, Rate send_rate, double rtt_fraction) {
+  double bytes_per_epoch =
+      send_rate.BytesPerSecond() * min_rtt.ToSeconds() * rtt_fraction;
+  double pkts = bytes_per_epoch / kMtuBytes;
+  if (pkts < 1.0) {
+    return 1;
+  }
+  uint32_t n = RoundDownPow2(static_cast<uint64_t>(pkts));
+  return std::min(n, 1u << 20);
+}
+
+}  // namespace bundler

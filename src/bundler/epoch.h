@@ -1,0 +1,35 @@
+// Epoch boundary identification (§4.5). Both boxes hash an unchanging,
+// per-packet-unique header subset — IPv4 ID, destination address, destination
+// port — with FNV, and treat a packet as an epoch boundary when the hash is a
+// multiple of the epoch size N. N is always rounded DOWN to a power of two so
+// that while a size update is in flight, one box's boundary set is a strict
+// subset or superset of the other's.
+#ifndef SRC_BUNDLER_EPOCH_H_
+#define SRC_BUNDLER_EPOCH_H_
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/util/rate.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+// Hash of the header subset used for boundary identification.
+uint64_t BoundaryHash(const Packet& pkt);
+
+// True when `hash` marks an epoch boundary for epoch size `n_pkts`.
+// `n_pkts` must be a power of two.
+bool IsEpochBoundary(uint64_t hash, uint32_t n_pkts);
+
+uint32_t RoundDownPow2(uint64_t v);
+
+// N = (rtt_fraction * minRTT * send_rate), expressed in packets and rounded
+// down to a power of two; clamped to [1, 2^20]. The default fraction of 0.25
+// spaces boundaries so ~4 measurements arrive per RTT (§4.5).
+uint32_t ComputeEpochSizePkts(TimeDelta min_rtt, Rate send_rate,
+                              double rtt_fraction = 0.25);
+
+}  // namespace bundler
+
+#endif  // SRC_BUNDLER_EPOCH_H_

@@ -1,0 +1,144 @@
+#include "src/bundler/nimbus_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+#include "src/util/fft.h"
+
+namespace bundler {
+
+NimbusDetector::NimbusDetector() : NimbusDetector(Config()) {}
+
+NimbusDetector::NimbusDetector(const Config& config)
+    : config_(config), mu_filter_(config.mu_window) {
+  BUNDLER_CHECK(IsPowerOfTwo(config_.fft_size));
+  BUNDLER_CHECK(config_.pulse_bin > 2 && config_.pulse_bin < config_.fft_size / 2);
+}
+
+void NimbusDetector::Reset() {
+  mu_filter_.Reset();
+  mu_ = Rate::Zero();
+  last_cross_ = Rate::Zero();
+  z_history_.clear();
+  busy_history_.clear();
+  samples_since_eval_ = 0;
+  elastic_ = false;
+  metric_ = 0.0;
+}
+
+TimeDelta NimbusDetector::pulse_period() const {
+  // Chosen so the pulse frequency falls exactly on `pulse_bin` of the FFT.
+  return config_.sample_interval *
+         (static_cast<double>(config_.fft_size) / static_cast<double>(config_.pulse_bin));
+}
+
+Rate NimbusDetector::PulseRate(TimePoint now, Rate mu) const {
+  double period_s = pulse_period().ToSeconds();
+  double phase01 = std::fmod(now.ToSeconds(), period_s) / period_s;
+  double amplitude = config_.pulse_amplitude_frac * mu.bps();
+  // Up half-sine over the first quarter; compensating down half-sine with a
+  // third of the amplitude over the remaining three quarters (equal areas).
+  double multiple;
+  if (phase01 < 0.25) {
+    multiple = std::sin(std::numbers::pi * phase01 / 0.25);
+  } else {
+    multiple = -(1.0 / 3.0) * std::sin(std::numbers::pi * (phase01 - 0.25) / 0.75);
+  }
+  return Rate::BitsPerSec(amplitude * multiple);
+}
+
+void NimbusDetector::AddSample(TimePoint now, Rate rin, Rate rout, TimeDelta queue_delay,
+                               TimeDelta queue_delay_threshold) {
+  if (rout.bps() > 0) {
+    mu_filter_.Update(now, rout.BytesPerSecond());
+    mu_ = Rate::BytesPerSec(mu_filter_.Get());
+  }
+  double z = last_cross_.bps();  // hold when unidentifiable
+  // The estimator z = rin*mu/rout - rin is only meaningful while the
+  // bottleneck is busy (a queue exists); otherwise rout == rin and the
+  // formula would read the idle headroom as cross traffic. It also needs a
+  // non-negligible bundle rate: as rin -> 0 the ratio amplifies measurement
+  // noise into absurd cross-rate spikes that would swamp the FFT noise floor.
+  if (rout.bps() > 0 && rin.bps() > 0.01 * mu_.bps() &&
+      queue_delay > queue_delay_threshold) {
+    z = std::max(0.0, rin.bps() * (mu_.bps() / rout.bps()) - rin.bps());
+    z = std::min(z, mu_.bps());  // cross traffic cannot exceed the capacity
+  } else if (queue_delay <= queue_delay_threshold) {
+    z = 0.0;  // idle bottleneck: no competing queue
+  }
+  last_cross_ = Rate::BitsPerSec(z);
+  z_history_.push_back(z);
+  busy_history_.push_back(queue_delay > queue_delay_threshold);
+  while (z_history_.size() > config_.fft_size) {
+    z_history_.pop_front();
+    busy_history_.pop_front();
+  }
+  if (++samples_since_eval_ >= config_.eval_every_samples) {
+    samples_since_eval_ = 0;
+    Evaluate();
+  }
+}
+
+void NimbusDetector::Evaluate() {
+  if (z_history_.size() < config_.fft_size) {
+    elastic_ = false;
+    metric_ = 0.0;
+    return;
+  }
+  size_t busy = 0;
+  for (bool b : busy_history_) {
+    busy += b ? 1 : 0;
+  }
+  if (static_cast<double>(busy) <
+      config_.min_busy_frac * static_cast<double>(busy_history_.size())) {
+    elastic_ = false;
+    metric_ = 0.0;
+    return;
+  }
+  std::vector<double> signal(z_history_.begin(), z_history_.end());
+  double mean = 0.0;
+  for (double v : signal) {
+    mean += v;
+  }
+  mean /= static_cast<double>(signal.size());
+  // Require meaningful cross traffic before classifying it.
+  if (mu_.bps() <= 0 || mean < config_.min_cross_frac * mu_.bps()) {
+    elastic_ = false;
+    metric_ = 0.0;
+    return;
+  }
+  for (double& v : signal) {
+    v -= mean;
+  }
+  std::vector<double> mags = RealFftMagnitudes(signal);
+
+  const size_t kb = config_.pulse_bin;
+  double pulse_power = 0.0;
+  for (size_t k = kb - 1; k <= kb + 1; ++k) {
+    pulse_power = std::max(pulse_power, mags[k]);
+  }
+  // Noise floor: mean magnitude of bins near the pulse frequency, excluding
+  // every harmonic of the pulse (the asymmetric half-sine is harmonically
+  // rich, so energy at exact multiples of the pulse bin is self-inflicted).
+  // A mean over the band is robust: a single noisy bin (e.g. from TCP
+  // sawtooths) cannot erase a genuine pulse response the way a max would.
+  double noise_sum = 0.0;
+  size_t noise_count = 0;
+  size_t lo = std::max<size_t>(4, kb / 2);
+  size_t hi = std::min(mags.size() - 1, kb * 6);
+  for (size_t k = lo; k <= hi; ++k) {
+    size_t dist_to_harmonic = std::min(k % kb, kb - (k % kb));
+    if (dist_to_harmonic <= 2) {
+      continue;
+    }
+    noise_sum += mags[k];
+    ++noise_count;
+  }
+  double noise = noise_count > 0 ? std::max(noise_sum / noise_count, 1e-9) : 1e-9;
+  metric_ = pulse_power / noise;
+  elastic_ = metric_ > config_.elastic_threshold;
+}
+
+}  // namespace bundler

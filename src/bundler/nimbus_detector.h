@@ -1,0 +1,75 @@
+// Nimbus cross-traffic (elasticity) detection (§5.1, Goyal et al.). The
+// sendbox superimposes an asymmetric sinusoidal pulse on its sending rate:
+// a half-sine up-pulse of amplitude mu/4 for the first quarter period and a
+// compensating half-sine down-pulse of amplitude mu/12 for the remaining
+// three quarters (zero net area). If buffer-filling (elastic) cross traffic
+// shares the bottleneck, its rate reacts to ours, so the cross-traffic rate
+// estimate z(t) = rin*mu/rout - rin shows power at the pulse frequency; an
+// FFT over a sliding window detects that coherent response.
+#ifndef SRC_BUNDLER_NIMBUS_DETECTOR_H_
+#define SRC_BUNDLER_NIMBUS_DETECTOR_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/util/rate.h"
+#include "src/util/time.h"
+#include "src/util/windowed_filter.h"
+
+namespace bundler {
+
+class NimbusDetector {
+ public:
+  struct Config {
+    TimeDelta sample_interval = TimeDelta::Millis(10);  // control-tick cadence
+    size_t fft_size = 512;       // ~5.12 s of samples
+    size_t pulse_bin = 13;       // pulse frequency = bin/(N*interval) ≈ 2.54 Hz
+    double pulse_amplitude_frac = 0.25;  // A = mu/4
+    double elastic_threshold = 3.0;      // pulse-to-noise power ratio
+    double min_cross_frac = 0.05;        // ignore negligible cross traffic
+    // Buffer-filling cross traffic keeps the bottleneck queue standing, so a
+    // genuine elastic verdict requires the busy gate open for most of the
+    // FFT window. Bursty self-congestion (e.g. slow-start transients) opens
+    // it intermittently and must not trigger mode switches.
+    double min_busy_frac = 0.75;
+    TimeDelta mu_window = TimeDelta::Seconds(30);
+    size_t eval_every_samples = 8;       // FFT cadence (every 80 ms)
+  };
+
+  NimbusDetector();
+  explicit NimbusDetector(const Config& config);
+
+  // Feed one control-tick sample. `queue_delay` gates the cross-traffic
+  // estimator: z is only identifiable while the bottleneck is busy.
+  void AddSample(TimePoint now, Rate rin, Rate rout, TimeDelta queue_delay,
+                 TimeDelta queue_delay_threshold);
+
+  // The additive pulse at absolute time `now` given capacity estimate mu.
+  Rate PulseRate(TimePoint now, Rate mu) const;
+  TimeDelta pulse_period() const;
+
+  bool IsElastic() const { return elastic_; }
+  double elasticity_metric() const { return metric_; }
+  Rate mu_estimate() const { return mu_; }
+  Rate cross_estimate() const { return last_cross_; }
+
+  void Reset();
+
+ private:
+  void Evaluate();
+
+  Config config_;
+  WindowedMaxFilter<double> mu_filter_;  // bytes/sec
+  Rate mu_;
+  Rate last_cross_;
+  std::deque<double> z_history_;  // cross-rate samples, bits/sec
+  std::deque<bool> busy_history_;  // busy-gate state per sample
+  size_t samples_since_eval_ = 0;
+  bool elastic_ = false;
+  double metric_ = 0.0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_BUNDLER_NIMBUS_DETECTOR_H_

@@ -1,0 +1,47 @@
+#include "src/bundler/pi_controller.h"
+
+#include <algorithm>
+
+namespace bundler {
+
+PiController::PiController() : PiController(Config()) {}
+
+PiController::PiController(const Config& config)
+    : config_(config), rate_bps_(config.min_rate.bps()) {}
+
+void PiController::Reset(Rate initial_rate, int64_t queue_bytes, TimePoint now) {
+  rate_bps_ = std::clamp(initial_rate.bps(), config_.min_rate.bps(), config_.max_rate.bps());
+  prev_queue_bytes_ = queue_bytes;
+  prev_time_ = now;
+  initialized_ = true;
+}
+
+int64_t PiController::TargetQueueBytes() const {
+  return static_cast<int64_t>(rate_bps_ / 8.0 * config_.target_queue_delay.ToSeconds());
+}
+
+Rate PiController::Update(int64_t queue_bytes, TimePoint now) {
+  if (!initialized_) {
+    Reset(Rate::BitsPerSec(rate_bps_), queue_bytes, now);
+    return rate();
+  }
+  TimeDelta dt = now - prev_time_;
+  if (dt <= TimeDelta::Zero()) {
+    return rate();
+  }
+  double dt_s = dt.ToSeconds();
+  double q_err_bytes = static_cast<double>(queue_bytes - TargetQueueBytes());
+  double dq_bytes = static_cast<double>(queue_bytes - prev_queue_bytes_);
+  // Both terms positive when the queue is above target / growing -> send
+  // faster to shrink it toward q_T.
+  double dr_bytes_per_s = config_.alpha * q_err_bytes * dt_s + config_.beta * dq_bytes;
+  double dr_bps = dr_bytes_per_s * 8.0;
+  double max_step = config_.max_step_frac * rate_bps_;
+  rate_bps_ += std::clamp(dr_bps, -max_step, max_step);
+  rate_bps_ = std::clamp(rate_bps_, config_.min_rate.bps(), config_.max_rate.bps());
+  prev_queue_bytes_ = queue_bytes;
+  prev_time_ = now;
+  return rate();
+}
+
+}  // namespace bundler

@@ -1,0 +1,49 @@
+// PI controller used in traffic-passing mode (§5.1): while buffer-filling
+// cross traffic is present, the sendbox stops controlling in-network queueing
+// but still maintains a small standing queue q_T (10 ms: 8 ms for the Nimbus
+// up-pulse area + 2 ms cushion) so that elasticity probing can continue.
+// Rate update: dr/dt = alpha * (q - q_T) + beta * dq/dt, alpha = beta = 10.
+// When the local queue exceeds target, the rate rises to drain it.
+#ifndef SRC_BUNDLER_PI_CONTROLLER_H_
+#define SRC_BUNDLER_PI_CONTROLLER_H_
+
+#include "src/util/rate.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+class PiController {
+ public:
+  struct Config {
+    double alpha = 10.0;  // 1/s^2 on the queue error (bytes)
+    double beta = 10.0;   // 1/s on the queue derivative (bytes/s)
+    TimeDelta target_queue_delay = TimeDelta::Millis(10);
+    Rate min_rate = Rate::Mbps(1);
+    Rate max_rate = Rate::Gbps(10);
+    // Per-update relative slew bound. Keeps a single control step's change
+    // bounded so controller variation never dominates the Nimbus pulse (§5.1
+    // discusses exactly this tradeoff for large alpha/beta).
+    double max_step_frac = 0.25;
+  };
+
+  PiController();
+  explicit PiController(const Config& config);
+
+  void Reset(Rate initial_rate, int64_t queue_bytes, TimePoint now);
+  // One control step; returns the updated rate.
+  Rate Update(int64_t queue_bytes, TimePoint now);
+
+  Rate rate() const { return Rate::BitsPerSec(rate_bps_); }
+  int64_t TargetQueueBytes() const;
+
+ private:
+  Config config_;
+  double rate_bps_;
+  int64_t prev_queue_bytes_ = 0;
+  TimePoint prev_time_;
+  bool initialized_ = false;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_BUNDLER_PI_CONTROLLER_H_

@@ -1,0 +1,57 @@
+#include "src/bundler/receivebox.h"
+
+#include <utility>
+
+#include "src/bundler/epoch.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+Receivebox::Receivebox(Simulator* sim, const Config& config, PacketHandler* forward,
+                       PacketHandler* reverse)
+    : sim_(sim),
+      config_(config),
+      forward_(forward),
+      reverse_(reverse),
+      epoch_size_pkts_(config.initial_epoch_pkts) {
+  BUNDLER_CHECK(sim_ != nullptr);
+  BUNDLER_CHECK(epoch_size_pkts_ != 0 &&
+                (epoch_size_pkts_ & (epoch_size_pkts_ - 1)) == 0);
+}
+
+bool Receivebox::IsBundleData(const Packet& pkt) const {
+  return pkt.type == PacketType::kData && SiteOf(pkt.key.src) == config_.bundle_src_site &&
+         SiteOf(pkt.key.dst) == config_.bundle_dst_site;
+}
+
+void Receivebox::HandlePacket(Packet pkt) {
+  if (pkt.type == PacketType::kBundlerEpochCtl && pkt.key.dst == config_.self_ctl_addr) {
+    uint32_t n = pkt.epoch_size_pkts;
+    if (!epoch_frozen_ && n != 0 && (n & (n - 1)) == 0) {
+      epoch_size_pkts_ = n;
+    }
+    return;  // consumed
+  }
+  if (IsBundleData(pkt)) {
+    bytes_received_ += pkt.size_bytes;
+    uint64_t hash = BoundaryHash(pkt);
+    if (IsEpochBoundary(hash, epoch_size_pkts_)) {
+      Packet fb;
+      fb.type = PacketType::kBundlerFeedback;
+      fb.size_bytes = kControlBytes;
+      fb.key.src = config_.self_ctl_addr;
+      fb.key.dst = config_.sendbox_ctl_addr;
+      fb.key.protocol = 17;
+      fb.boundary_hash = hash;
+      fb.fb_bytes_received = bytes_received_;
+      fb.fb_seq = ++feedback_sent_;
+      BUNDLER_CHECK(reverse_ != nullptr);
+      reverse_->HandlePacket(std::move(fb));
+    }
+  }
+  if (forward_ != nullptr) {
+    forward_->HandlePacket(std::move(pkt));
+  }
+}
+
+}  // namespace bundler

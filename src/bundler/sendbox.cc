@@ -1,0 +1,318 @@
+#include "src/bundler/sendbox.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/bundler/epoch.h"
+#include "src/qdisc/fifo.h"
+#include "src/qdisc/fq_codel.h"
+#include "src/qdisc/prio.h"
+#include "src/qdisc/sfq.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+const char* BundlerModeName(BundlerMode mode) {
+  switch (mode) {
+    case BundlerMode::kDelayControl:
+      return "delay_control";
+    case BundlerMode::kPassThrough:
+      return "pass_through";
+    case BundlerMode::kDisabled:
+      return "disabled";
+  }
+  return "?";
+}
+
+std::unique_ptr<Qdisc> MakeScheduler(SchedulerType type, int64_t limit_pkts,
+                                     uint64_t perturbation) {
+  switch (type) {
+    case SchedulerType::kFifo:
+      return std::make_unique<DropTailFifo>(limit_pkts * kMtuBytes);
+    case SchedulerType::kSfq: {
+      Sfq::Config cfg;
+      cfg.limit_packets = limit_pkts;
+      cfg.perturbation = perturbation;
+      return std::make_unique<Sfq>(cfg);
+    }
+    case SchedulerType::kFqCodel: {
+      FqCodel::Config cfg;
+      cfg.limit_packets = limit_pkts;
+      cfg.perturbation = perturbation;
+      return std::make_unique<FqCodel>(cfg);
+    }
+    case SchedulerType::kPrio:
+      return std::make_unique<StrictPrio>(3, limit_pkts * kMtuBytes / 3);
+  }
+  BUNDLER_CHECK(false);
+  return nullptr;
+}
+
+namespace {
+std::unique_ptr<Qdisc> BuildScheduler(const Sendbox::Config& config) {
+  if (config.scheduler_factory) {
+    return config.scheduler_factory();
+  }
+  return MakeScheduler(config.scheduler, config.queue_limit_pkts);
+}
+}  // namespace
+
+Sendbox::Sendbox(Simulator* sim, const Config& config, PacketHandler* egress)
+    : sim_(sim),
+      config_(config),
+      egress_(egress),
+      shaper_(sim, BuildScheduler(config), config.initial_rate, 2 * kMtuBytes,
+              [this](Packet pkt) { OnBundleEgress(std::move(pkt)); }),
+      meas_(config.measurement),
+      cc_(MakeBundleCc(config.cc, config.initial_rate)),
+      detector_(config.nimbus),
+      pi_(config.pi),
+      mode_entered_(sim->now()),
+      epoch_pkts_(config.initial_epoch_pkts),
+      last_epoch_update_(sim->now()),
+      last_epoch_ctl_sent_(sim->now()) {
+  BUNDLER_CHECK(sim_ != nullptr);
+  BUNDLER_CHECK(egress_ != nullptr);
+  BUNDLER_CHECK(epoch_pkts_ != 0 && (epoch_pkts_ & (epoch_pkts_ - 1)) == 0);
+  mode_log_.emplace_back(sim_->now(), mode_);
+  tick_timer_ = sim_->Schedule(config_.control_interval, [this]() { ControlTick(); });
+}
+
+Sendbox::~Sendbox() {
+  if (tick_timer_ != kInvalidEventId) {
+    sim_->Cancel(tick_timer_);
+  }
+}
+
+bool Sendbox::IsBundleData(const Packet& pkt) const {
+  return pkt.type == PacketType::kData && SiteOf(pkt.key.src) == config_.local_site &&
+         SiteOf(pkt.key.dst) == config_.remote_site;
+}
+
+void Sendbox::HandlePacket(Packet pkt) {
+  if (pkt.type == PacketType::kBundlerFeedback && pkt.key.dst == config_.ctl_addr) {
+    meas_.OnFeedback(pkt.boundary_hash, pkt.fb_bytes_received, sim_->now());
+    return;
+  }
+  if (IsBundleData(pkt)) {
+    shaper_.Enqueue(std::move(pkt));
+    return;
+  }
+  egress_->HandlePacket(std::move(pkt));
+}
+
+void Sendbox::OnBundleEgress(Packet pkt) {
+  bytes_sent_ += pkt.size_bytes;
+  uint64_t hash = BoundaryHash(pkt);
+  if (IsEpochBoundary(hash, epoch_pkts_)) {
+    meas_.OnBoundarySent(hash, sim_->now(), bytes_sent_);
+  }
+  egress_->HandlePacket(std::move(pkt));
+}
+
+void Sendbox::SwitchMode(BundlerMode next) {
+  if (next == mode_) {
+    return;
+  }
+  TimePoint now = sim_->now();
+  mode_ = next;
+  mode_entered_ = now;
+  elastic_ticks_ = 0;
+  nonelastic_ticks_ = 0;
+  mp_grace_cleared_ = false;
+  mode_log_.emplace_back(now, next);
+  switch (next) {
+    case BundlerMode::kDelayControl:
+      // Coming back from pass-through/disabled: restart the controller from
+      // the currently observed rate rather than from scratch.
+      cc_->Reset(now);
+      break;
+    case BundlerMode::kPassThrough: {
+      Rate start = std::max(detector_.mu_estimate(), shaper_.rate());
+      pi_.Reset(start, queue_bytes(), now);
+      break;
+    }
+    case BundlerMode::kDisabled:
+      break;
+  }
+}
+
+void Sendbox::UpdateMode(const BundleMeasurement& m) {
+  (void)m;
+  TimePoint now = sim_->now();
+  TimeDelta dwell = now - mode_entered_;
+
+  if (config_.multipath_detection) {
+    if (mode_ == BundlerMode::kDelayControl && dwell < config_.multipath_eval_grace) {
+      return;  // let the controller settle before judging ordering
+    }
+    if (mode_ == BundlerMode::kDelayControl && !mp_grace_cleared_) {
+      meas_.ResetOooHistory();
+      mp_grace_cleared_ = true;
+      return;
+    }
+    double frac = meas_.OutOfOrderFraction(now);
+    if (mode_ != BundlerMode::kDisabled && frac > config_.ooo_disable_threshold) {
+      // Exponential probe backoff: if the last delay-control attempt survived
+      // only briefly, wait longer before the next probe.
+      bool probe_failed_quickly =
+          last_disabled_exit_ != TimePoint() &&
+          now - last_disabled_exit_ < TimeDelta::Seconds(10);
+      if (disabled_probe_backoff_.IsZero() || !probe_failed_quickly) {
+        disabled_probe_backoff_ = config_.disabled_min_dwell;
+      } else {
+        disabled_probe_backoff_ =
+            std::min(disabled_probe_backoff_ * 2.0, config_.disabled_probe_max);
+      }
+      SwitchMode(BundlerMode::kDisabled);
+      return;
+    }
+    if (mode_ == BundlerMode::kDisabled) {
+      if (frac < config_.ooo_enable_threshold && dwell > config_.disabled_min_dwell) {
+        last_disabled_exit_ = now;
+        SwitchMode(BundlerMode::kDelayControl);
+      } else if (dwell > disabled_probe_backoff_) {
+        // Probe: ordering measured under status-quo queueing says little
+        // about how delay control would fare; try it with a clean slate.
+        meas_.ResetOooHistory();
+        last_disabled_exit_ = now;
+        SwitchMode(BundlerMode::kDelayControl);
+      }
+      return;
+    }
+  }
+
+  if (!config_.nimbus_detection) {
+    return;
+  }
+  if (detector_.IsElastic()) {
+    ++elastic_ticks_;
+    nonelastic_ticks_ = 0;
+  } else if (detector_.elasticity_metric() < config_.elastic_exit_metric) {
+    ++nonelastic_ticks_;
+    elastic_ticks_ = 0;
+  }
+  // Metric between the exit and enter thresholds: hold the current mode.
+  if (mode_ == BundlerMode::kDelayControl && elastic_ticks_ >= config_.elastic_enter_ticks &&
+      dwell > config_.mode_min_dwell) {
+    SwitchMode(BundlerMode::kPassThrough);
+  } else if (mode_ == BundlerMode::kPassThrough &&
+             nonelastic_ticks_ >= config_.elastic_exit_ticks &&
+             dwell > config_.mode_min_dwell) {
+    SwitchMode(BundlerMode::kDelayControl);
+  }
+}
+
+void Sendbox::MaybeUpdateEpochSize(const BundleMeasurement& m) {
+  (void)m;
+  if (!meas_.has_min_rtt()) {
+    return;
+  }
+  TimePoint now = sim_->now();
+  Rate basis = egress_rate_bps_ > 0 ? Rate::BitsPerSec(egress_rate_bps_) : shaper_.rate();
+  uint32_t desired = ComputeEpochSizePkts(meas_.min_rtt(), basis);
+  if (desired != epoch_pkts_ && now - last_epoch_update_ >= meas_.srtt()) {
+    epoch_pkts_ = desired;
+    last_epoch_update_ = now;
+    SendEpochCtl();
+    return;
+  }
+  // Refresh the receivebox periodically in case a control message was lost.
+  if (now - last_epoch_ctl_sent_ > TimeDelta::Seconds(1)) {
+    SendEpochCtl();
+  }
+}
+
+void Sendbox::SendEpochCtl() {
+  Packet ctl;
+  ctl.type = PacketType::kBundlerEpochCtl;
+  ctl.size_bytes = kControlBytes;
+  ctl.key.src = config_.ctl_addr;
+  ctl.key.dst = config_.receivebox_ctl_addr;
+  ctl.key.protocol = 17;
+  ctl.epoch_size_pkts = epoch_pkts_;
+  last_epoch_ctl_sent_ = sim_->now();
+  egress_->HandlePacket(std::move(ctl));
+}
+
+void Sendbox::ControlTick() {
+  TimePoint now = sim_->now();
+  tick_timer_ = sim_->Schedule(config_.control_interval, [this]() { ControlTick(); });
+
+  double tick_bps = static_cast<double>(bytes_sent_ - bytes_sent_at_last_tick_) * 8.0 /
+                    config_.control_interval.ToSeconds();
+  bytes_sent_at_last_tick_ = bytes_sent_;
+  egress_rate_bps_ = egress_rate_bps_ > 0 ? 0.9 * egress_rate_bps_ + 0.1 * tick_bps
+                                          : tick_bps;
+
+  BundleMeasurement m = meas_.Current(now);
+
+  // Feed the elasticity detector every tick (sample-and-hold between epochs)
+  // so its FFT buffer advances at a constant cadence. Use the newest single
+  // epoch's rates, not the RTT-windowed averages: the windowing would smear
+  // the 5 Hz Nimbus pulse out of the cross-traffic estimate.
+  TimeDelta qdel =
+      m.inst_rtt > m.min_rtt ? m.inst_rtt - m.min_rtt : TimeDelta::Zero();
+  // Busy gate: only read cross traffic when the bottleneck holds a genuine
+  // standing queue. The threshold sits well above the ~1 ms standing queue a
+  // delay-controlled bundle maintains, so coexisting Bundler-controlled
+  // bundles (Fig. 13) do not classify each other as buffer-filling, while
+  // tens-of-ms queues from genuinely buffer-filling flows clear it easily.
+  TimeDelta busy_thresh =
+      std::max(TimeDelta::Millis(2), m.min_rtt * 0.1);
+  if (config_.nimbus_detection) {
+    detector_.AddSample(now, m.inst_send_rate, m.inst_recv_rate, qdel, busy_thresh);
+  }
+
+  UpdateMode(m);
+
+  Rate base;
+  switch (mode_) {
+    case BundlerMode::kDelayControl:
+      cc_->OnMeasurement(m);
+      base = cc_->TargetRate();
+      break;
+    case BundlerMode::kPassThrough: {
+      base = pi_.Update(queue_bytes(), now);
+      // Draining the queue accumulated before the mode switch must not flood
+      // the bottleneck at a multiple of its capacity.
+      Rate mu = detector_.mu_estimate();
+      if (mu.bps() > 0 && base.bps() > 2.0 * mu.bps()) {
+        base = Rate::BitsPerSec(2.0 * mu.bps());
+      }
+      break;
+    }
+    case BundlerMode::kDisabled:
+      base = config_.max_rate;
+      break;
+  }
+
+  Rate rate = base;
+  if (config_.nimbus_detection && mode_ != BundlerMode::kDisabled &&
+      detector_.mu_estimate().bps() > 0) {
+    rate = rate + detector_.PulseRate(now, detector_.mu_estimate());
+  }
+  // Never shape below a small fraction of the estimated capacity: the
+  // control loop's measurement cadence is proportional to the rate, so a
+  // collapse to near-zero starves the loop of epochs and takes seconds to
+  // escape, long after conditions improved.
+  double floor_bps =
+      std::max(Rate::Mbps(0.5).bps(), 0.05 * detector_.mu_estimate().bps());
+  if (rate.bps() < floor_bps) {
+    rate = Rate::BitsPerSec(floor_bps);
+  }
+  if (rate > config_.max_rate) {
+    rate = config_.max_rate;
+  }
+  shaper_.SetRate(rate);
+
+  MaybeUpdateEpochSize(m);
+
+  rate_log_.Add(now, rate.Mbps());
+  double qdelay_ms = rate.bps() > 0
+                         ? static_cast<double>(queue_bytes()) * 8.0 / rate.bps() * 1e3
+                         : 0.0;
+  queue_delay_log_.Add(now, qdelay_ms);
+}
+
+}  // namespace bundler

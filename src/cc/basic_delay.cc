@@ -1,0 +1,58 @@
+#include "src/cc/basic_delay.h"
+
+#include <algorithm>
+
+namespace bundler {
+
+BasicDelay::BasicDelay(Rate initial_rate) : BasicDelay(initial_rate, Params()) {}
+
+BasicDelay::BasicDelay(Rate initial_rate, const Params& params)
+    : params_(params),
+      initial_rate_(initial_rate),
+      rate_(initial_rate),
+      mu_(initial_rate),
+      cross_(Rate::Zero()),
+      mu_filter_(params.mu_window) {}
+
+void BasicDelay::Reset(TimePoint now) {
+  (void)now;
+  rate_ = initial_rate_;
+  mu_ = initial_rate_;
+  cross_ = Rate::Zero();
+  mu_filter_.Reset();
+}
+
+TimeDelta BasicDelay::delay_target(TimeDelta min_rtt) const {
+  return std::max(params_.min_delay_target, min_rtt * params_.delay_target_frac);
+}
+
+void BasicDelay::OnMeasurement(const BundleMeasurement& m) {
+  if (!m.fresh || m.rtt <= TimeDelta::Zero()) {
+    return;
+  }
+  mu_filter_.Update(m.now, m.recv_rate.BytesPerSecond());
+  mu_ = Rate::BytesPerSec(mu_filter_.Get());
+
+  TimeDelta dq = m.rtt - m.min_rtt;
+  TimeDelta d_t = delay_target(m.min_rtt);
+
+  // Cross-traffic estimate: only meaningful when the bottleneck is busy
+  // (some queue exists). rout is our share of mu, so z = rin*mu/rout - rin.
+  if (dq > d_t / 2 && m.recv_rate.bps() > 0) {
+    double z = m.send_rate.bps() * (mu_.bps() / m.recv_rate.bps()) - m.send_rate.bps();
+    cross_ = Rate::BitsPerSec(std::max(0.0, z));
+  } else {
+    cross_ = Rate::Zero();
+  }
+
+  double available = mu_.bps() - cross_.bps();
+  double correction =
+      params_.beta * mu_.bps() * (d_t - dq).ToSeconds() / d_t.ToSeconds();
+  double r = available + correction;
+  // Keep within sane bounds: never stall completely, never exceed 2x the
+  // observed capacity.
+  r = std::clamp(r, 0.05 * mu_.bps(), 2.0 * mu_.bps());
+  rate_ = Rate::BitsPerSec(r);
+}
+
+}  // namespace bundler

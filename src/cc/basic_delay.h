@@ -1,0 +1,45 @@
+// Nimbus "BasicDelay" rate controller (Goyal et al.): track the available
+// rate (capacity estimate minus cross-traffic estimate) and correct toward a
+// small target queueing delay. Evaluated as an alternative sendbox algorithm
+// in Fig. 14, and the natural companion to Nimbus elasticity detection.
+#ifndef SRC_CC_BASIC_DELAY_H_
+#define SRC_CC_BASIC_DELAY_H_
+
+#include "src/cc/cc.h"
+#include "src/util/windowed_filter.h"
+
+namespace bundler {
+
+class BasicDelay : public BundleCc {
+ public:
+  struct Params {
+    double beta = 0.2;            // gain on the delay error term
+    double delay_target_frac = 0.125;  // d_T as a fraction of min RTT
+    TimeDelta min_delay_target = TimeDelta::Millis(2);
+    TimeDelta mu_window = TimeDelta::Seconds(10);
+  };
+
+  explicit BasicDelay(Rate initial_rate);
+  BasicDelay(Rate initial_rate, const Params& params);
+
+  void OnMeasurement(const BundleMeasurement& m) override;
+  Rate TargetRate() const override { return rate_; }
+  void Reset(TimePoint now) override;
+  const char* name() const override { return "basic_delay"; }
+
+  Rate mu_estimate() const { return mu_; }
+  Rate cross_estimate() const { return cross_; }
+  TimeDelta delay_target(TimeDelta min_rtt) const;
+
+ private:
+  Params params_;
+  Rate initial_rate_;
+  Rate rate_;
+  Rate mu_;
+  Rate cross_;
+  WindowedMaxFilter<double> mu_filter_;  // bytes/sec of observed receive rate
+};
+
+}  // namespace bundler
+
+#endif  // SRC_CC_BASIC_DELAY_H_

@@ -1,0 +1,171 @@
+#include "src/cc/bbr.h"
+
+#include <algorithm>
+
+#include "src/net/packet.h"
+
+namespace bundler {
+
+constexpr double BbrCore::kGainCycle[];
+
+BbrCore::BbrCore(Rate initial_rate)
+    : bw_filter_(TimeDelta::Seconds(3)),
+      rtt_filter_(TimeDelta::Seconds(10)),
+      btl_bw_(initial_rate),
+      full_bw_(Rate::Zero()) {}
+
+void BbrCore::Reset(TimePoint now, Rate initial_rate) {
+  bw_filter_.Reset();
+  rtt_filter_.Reset();
+  btl_bw_ = initial_rate;
+  rt_prop_valid_ = false;
+  phase_ = Phase::kStartup;
+  pacing_gain_ = kStartupGain;
+  cwnd_gain_ = kStartupGain;
+  round_start_ = now;
+  full_bw_ = Rate::Zero();
+  full_bw_rounds_ = 0;
+  cycle_index_ = 0;
+  cycle_start_ = now;
+  rt_prop_refreshed_ = now;
+}
+
+double BbrCore::BdpPkts() const {
+  double bdp_bytes = btl_bw_.BytesPerSecond() * rt_prop_.ToSeconds();
+  return std::max(4.0, bdp_bytes / kMssBytes);
+}
+
+void BbrCore::OnSample(TimePoint now, Rate delivery_rate, TimeDelta rtt,
+                       double inflight_pkts) {
+  if (rtt > TimeDelta::Zero()) {
+    rtt_filter_.Update(now, rtt.nanos());
+    TimeDelta new_min = TimeDelta::Nanos(rtt_filter_.Get());
+    if (!rt_prop_valid_ || new_min <= rt_prop_) {
+      rt_prop_refreshed_ = now;
+    }
+    rt_prop_ = new_min;
+    rt_prop_valid_ = true;
+  }
+  if (delivery_rate.bps() > 0) {
+    // Track the max filter over ~10 round trips.
+    bw_filter_.set_window(std::max(TimeDelta::Seconds(1), rt_prop_ * 10));
+    bw_filter_.Update(now, delivery_rate.BytesPerSecond());
+    btl_bw_ = Rate::BytesPerSec(bw_filter_.Get());
+  }
+
+  UpdateRound(now);
+  switch (phase_) {
+    case Phase::kStartup:
+      CheckStartupDone();
+      break;
+    case Phase::kDrain:
+      if (inflight_pkts <= BdpPkts()) {
+        phase_ = Phase::kProbeBw;
+        pacing_gain_ = 1.0;
+        cwnd_gain_ = kCwndGain;
+        cycle_index_ = 2;  // start in a cruise phase
+        cycle_start_ = now;
+      }
+      break;
+    case Phase::kProbeBw:
+      AdvanceProbeBwCycle(now);
+      break;
+    case Phase::kProbeRtt:
+      if (now >= probe_rtt_until_) {
+        phase_ = Phase::kProbeBw;
+        pacing_gain_ = 1.0;
+        cwnd_gain_ = kCwndGain;
+        cycle_index_ = 2;
+        cycle_start_ = now;
+        rt_prop_refreshed_ = now;
+      }
+      break;
+  }
+  CheckProbeRtt(now, inflight_pkts);
+}
+
+void BbrCore::UpdateRound(TimePoint now) {
+  if (now - round_start_ >= rt_prop_) {
+    round_start_ = now;
+    if (phase_ == Phase::kStartup) {
+      if (btl_bw_.bps() > full_bw_.bps() * 1.25) {
+        full_bw_ = btl_bw_;
+        full_bw_rounds_ = 0;
+      } else {
+        ++full_bw_rounds_;
+      }
+    }
+  }
+}
+
+void BbrCore::CheckStartupDone() {
+  if (full_bw_rounds_ >= 3) {
+    phase_ = Phase::kDrain;
+    pacing_gain_ = kDrainGain;
+    cwnd_gain_ = kCwndGain;
+  }
+}
+
+void BbrCore::AdvanceProbeBwCycle(TimePoint now) {
+  if (now - cycle_start_ >= rt_prop_) {
+    cycle_index_ = (cycle_index_ + 1) % kGainCycleLen;
+    cycle_start_ = now;
+  }
+  pacing_gain_ = kGainCycle[cycle_index_];
+}
+
+void BbrCore::CheckProbeRtt(TimePoint now, double inflight_pkts) {
+  (void)inflight_pkts;
+  if (phase_ == Phase::kProbeRtt) {
+    return;
+  }
+  if (rt_prop_valid_ && now - rt_prop_refreshed_ > TimeDelta::Seconds(10)) {
+    phase_ = Phase::kProbeRtt;
+    probe_rtt_until_ = now + TimeDelta::Millis(200);
+    pacing_gain_ = 1.0;
+  }
+}
+
+Rate BbrCore::PacingRate() const { return btl_bw_ * pacing_gain_; }
+
+double BbrCore::CwndPkts() const {
+  if (phase_ == Phase::kProbeRtt) {
+    return 4.0;
+  }
+  return cwnd_gain_ * BdpPkts();
+}
+
+void BbrHost::OnAck(const AckSample& ack) {
+  if (timeout_cwnd_cap_ > 0.0) {
+    // Exit RTO conservatism after the model refreshes.
+    timeout_cwnd_cap_ = 0.0;
+  }
+  core_.OnSample(ack.now, ack.delivery_rate, ack.rtt_valid ? ack.rtt : TimeDelta::Zero(),
+                 ack.inflight_pkts);
+}
+
+void BbrHost::OnLoss(const LossSample& loss) {
+  // BBRv1 does not reduce the window on ordinary loss; only an RTO collapses
+  // the window temporarily.
+  if (loss.is_timeout) {
+    timeout_cwnd_cap_ = 4.0;
+  }
+}
+
+double BbrHost::CwndPkts() const {
+  if (timeout_cwnd_cap_ > 0.0) {
+    return timeout_cwnd_cap_;
+  }
+  return core_.CwndPkts();
+}
+
+void BbrBundle::OnMeasurement(const BundleMeasurement& m) {
+  if (!m.fresh) {
+    return;
+  }
+  double inflight_pkts =
+      m.send_rate.BytesPerSecond() * m.rtt.ToSeconds() / kMssBytes;
+  core_.OnSample(m.now, m.recv_rate, m.rtt, inflight_pkts);
+}
+
+}  // namespace bundler

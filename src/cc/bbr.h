@@ -1,0 +1,98 @@
+// BBR (Cardwell et al., ACM Queue 2016), simplified model-based rate control:
+// windowed-max bottleneck bandwidth filter, windowed-min RTprop filter, and
+// the Startup / Drain / ProbeBW / ProbeRTT state machine.
+//
+// `BbrCore` holds the shared model; `BbrHost` adapts it to the end-host
+// window interface (§7.4's endhost-BBR experiment) and `BbrBundle` to the
+// sendbox's epoch measurements (Fig. 14's sendbox-BBR experiment).
+#ifndef SRC_CC_BBR_H_
+#define SRC_CC_BBR_H_
+
+#include "src/cc/cc.h"
+#include "src/util/windowed_filter.h"
+
+namespace bundler {
+
+class BbrCore {
+ public:
+  enum class Phase { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  explicit BbrCore(Rate initial_rate);
+
+  void OnSample(TimePoint now, Rate delivery_rate, TimeDelta rtt, double inflight_pkts);
+
+  Rate PacingRate() const;
+  double CwndPkts() const;
+  Phase phase() const { return phase_; }
+  Rate btl_bw() const { return btl_bw_; }
+  TimeDelta rt_prop() const { return rt_prop_; }
+  void Reset(TimePoint now, Rate initial_rate);
+
+ private:
+  void UpdateRound(TimePoint now);
+  void CheckStartupDone();
+  void AdvanceProbeBwCycle(TimePoint now);
+  void CheckProbeRtt(TimePoint now, double inflight_pkts);
+  double BdpPkts() const;
+
+  static constexpr double kStartupGain = 2.885;
+  static constexpr double kDrainGain = 1.0 / 2.885;
+  static constexpr double kCwndGain = 2.0;
+  static constexpr int kGainCycleLen = 8;
+  static constexpr double kGainCycle[kGainCycleLen] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+
+  WindowedMaxFilter<double> bw_filter_;   // bytes/sec samples
+  WindowedMinFilter<int64_t> rtt_filter_; // ns samples
+
+  Rate btl_bw_;
+  TimeDelta rt_prop_ = TimeDelta::Millis(100);
+  bool rt_prop_valid_ = false;
+
+  Phase phase_ = Phase::kStartup;
+  double pacing_gain_ = kStartupGain;
+  double cwnd_gain_ = kStartupGain;
+
+  // Round (≈RTprop) tracking for startup-exit and gain cycling.
+  TimePoint round_start_;
+  Rate full_bw_;
+  int full_bw_rounds_ = 0;
+
+  int cycle_index_ = 0;
+  TimePoint cycle_start_;
+
+  TimePoint probe_rtt_until_;
+  TimePoint rt_prop_refreshed_;
+};
+
+class BbrHost : public HostCc {
+ public:
+  BbrHost() : core_(Rate::Mbps(1.0)) {}
+
+  void OnAck(const AckSample& ack) override;
+  void OnLoss(const LossSample& loss) override;
+  double CwndPkts() const override;
+  Rate PacingRate() const override { return core_.PacingRate(); }
+  const char* name() const override { return "bbr"; }
+
+ private:
+  BbrCore core_;
+  double timeout_cwnd_cap_ = 0.0;  // >0 while recovering from an RTO
+};
+
+class BbrBundle : public BundleCc {
+ public:
+  explicit BbrBundle(Rate initial_rate) : core_(initial_rate), initial_rate_(initial_rate) {}
+
+  void OnMeasurement(const BundleMeasurement& m) override;
+  Rate TargetRate() const override { return core_.PacingRate(); }
+  void Reset(TimePoint now) override { core_.Reset(now, initial_rate_); }
+  const char* name() const override { return "bbr"; }
+
+ private:
+  BbrCore core_;
+  Rate initial_rate_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_CC_BBR_H_

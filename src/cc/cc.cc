@@ -1,0 +1,67 @@
+#include "src/cc/cc.h"
+
+#include "src/cc/basic_delay.h"
+#include "src/cc/bbr.h"
+#include "src/cc/const_cwnd.h"
+#include "src/cc/copa.h"
+#include "src/cc/cubic.h"
+#include "src/cc/new_reno.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+const char* HostCcTypeName(HostCcType type) {
+  switch (type) {
+    case HostCcType::kCubic:
+      return "cubic";
+    case HostCcType::kNewReno:
+      return "newreno";
+    case HostCcType::kBbr:
+      return "bbr";
+    case HostCcType::kConstCwnd:
+      return "const_cwnd";
+  }
+  return "?";
+}
+
+const char* BundleCcTypeName(BundleCcType type) {
+  switch (type) {
+    case BundleCcType::kCopa:
+      return "copa";
+    case BundleCcType::kBasicDelay:
+      return "basic_delay";
+    case BundleCcType::kBbr:
+      return "bbr";
+  }
+  return "?";
+}
+
+std::unique_ptr<HostCc> MakeHostCc(HostCcType type, double const_cwnd_pkts) {
+  switch (type) {
+    case HostCcType::kCubic:
+      return std::make_unique<Cubic>();
+    case HostCcType::kNewReno:
+      return std::make_unique<NewReno>();
+    case HostCcType::kBbr:
+      return std::make_unique<BbrHost>();
+    case HostCcType::kConstCwnd:
+      return std::make_unique<ConstCwnd>(const_cwnd_pkts);
+  }
+  BUNDLER_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<BundleCc> MakeBundleCc(BundleCcType type, Rate initial_rate) {
+  switch (type) {
+    case BundleCcType::kCopa:
+      return std::make_unique<Copa>(initial_rate);
+    case BundleCcType::kBasicDelay:
+      return std::make_unique<BasicDelay>(initial_rate);
+    case BundleCcType::kBbr:
+      return std::make_unique<BbrBundle>(initial_rate);
+  }
+  BUNDLER_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace bundler

@@ -1,0 +1,91 @@
+// Congestion-control interfaces.
+//
+// Two flavors exist, mirroring the paper's architecture:
+//  - `HostCc`: per-connection window-based control run by end hosts
+//    (unmodified by Bundler): Cubic, NewReno, BBR, and the idealized
+//    constant-window "proxy" of §7.5.
+//  - `BundleCc`: aggregate rate control run by the sendbox on epoch-based
+//    measurements (§4.3): Copa, Nimbus BasicDelay, and BBR. The sendbox
+//    converts window-based outputs into a rate of cwnd/RTT (§6.1).
+#ifndef SRC_CC_CC_H_
+#define SRC_CC_CC_H_
+
+#include <memory>
+
+#include "src/util/rate.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+inline constexpr double kInitialCwndPkts = 10.0;
+
+struct AckSample {
+  TimePoint now;
+  int acked_pkts = 0;
+  TimeDelta rtt;              // for the newest acked (non-retransmitted) segment
+  double inflight_pkts = 0;   // after this ACK was processed
+  Rate delivery_rate;         // receiver-side goodput sample (BBR)
+  bool rtt_valid = false;
+  // True while the sender is in dupack-triggered fast recovery: loss-based
+  // schemes hold the window there (post-RTO slow start still grows).
+  bool in_fast_recovery = false;
+};
+
+struct LossSample {
+  TimePoint now;
+  bool is_timeout = false;
+  double inflight_pkts = 0;
+};
+
+class HostCc {
+ public:
+  virtual ~HostCc() = default;
+  virtual void OnAck(const AckSample& ack) = 0;
+  // Called at most once per recovery episode (the transport de-duplicates).
+  virtual void OnLoss(const LossSample& loss) = 0;
+  virtual double CwndPkts() const = 0;
+  // Zero means "no pacing; window-limited only".
+  virtual Rate PacingRate() const { return Rate::Zero(); }
+  virtual const char* name() const = 0;
+};
+
+struct BundleMeasurement {
+  TimePoint now;
+  TimeDelta rtt;       // windowed (≈1 RTT of epochs) control-loop RTT
+  TimeDelta min_rtt;
+  Rate send_rate;      // r_in: rate at which the sendbox released bytes
+  Rate recv_rate;      // r_out: rate at which the receivebox absorbed bytes
+  // Instantaneous (single newest epoch) signals. The windowed rates above are
+  // right for rate control, but Nimbus elasticity detection needs the least
+  // smoothing possible: averaging over an RTT smears the 5 Hz pulse away.
+  TimeDelta inst_rtt;
+  Rate inst_send_rate;
+  Rate inst_recv_rate;
+  int64_t acked_bytes = 0;  // new bytes covered by feedback since last call
+  bool fresh = false;       // false when no new feedback arrived this tick
+};
+
+class BundleCc {
+ public:
+  virtual ~BundleCc() = default;
+  virtual void OnMeasurement(const BundleMeasurement& m) = 0;
+  // The base sending rate r(t) for the bundle (before Nimbus pulsing).
+  virtual Rate TargetRate() const = 0;
+  // Re-initialize state; called when the sendbox re-enters delay-control mode
+  // after passing traffic through (§5.1).
+  virtual void Reset(TimePoint now) = 0;
+  virtual const char* name() const = 0;
+};
+
+enum class HostCcType { kCubic, kNewReno, kBbr, kConstCwnd };
+enum class BundleCcType { kCopa, kBasicDelay, kBbr };
+
+const char* HostCcTypeName(HostCcType type);
+const char* BundleCcTypeName(BundleCcType type);
+
+std::unique_ptr<HostCc> MakeHostCc(HostCcType type, double const_cwnd_pkts = 450.0);
+std::unique_ptr<BundleCc> MakeBundleCc(BundleCcType type, Rate initial_rate);
+
+}  // namespace bundler
+
+#endif  // SRC_CC_CC_H_

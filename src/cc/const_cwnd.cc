@@ -1,0 +1,5 @@
+#include "src/cc/const_cwnd.h"
+
+namespace bundler {
+// Header-only logic; this TU anchors the vtable.
+}  // namespace bundler

@@ -1,0 +1,26 @@
+// Fixed congestion window, no reaction to the network. Used to emulate the
+// idealized TCP proxy of §7.5: endhosts hold a constant window slightly
+// above the path BDP, and the sendbox absorbs the excess.
+#ifndef SRC_CC_CONST_CWND_H_
+#define SRC_CC_CONST_CWND_H_
+
+#include "src/cc/cc.h"
+
+namespace bundler {
+
+class ConstCwnd : public HostCc {
+ public:
+  explicit ConstCwnd(double cwnd_pkts) : cwnd_(cwnd_pkts) {}
+
+  void OnAck(const AckSample& ack) override { (void)ack; }
+  void OnLoss(const LossSample& loss) override { (void)loss; }
+  double CwndPkts() const override { return cwnd_; }
+  const char* name() const override { return "const_cwnd"; }
+
+ private:
+  double cwnd_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_CC_CONST_CWND_H_

@@ -1,0 +1,98 @@
+#include "src/cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bundler {
+
+bool Cubic::HystartShouldExit(const AckSample& ack) {
+  if (!ack.rtt_valid) {
+    return false;
+  }
+  if (base_rtt_.IsZero()) {
+    base_rtt_ = ack.rtt;
+  }
+  if (!round_active_) {
+    round_active_ = true;
+    round_start_ = ack.now;
+    round_min_rtt_ = ack.rtt;
+    return false;
+  }
+  round_min_rtt_ = std::min(round_min_rtt_, ack.rtt);
+  if (ack.now - round_start_ < base_rtt_) {
+    return false;  // round still in progress
+  }
+  // Round complete: the per-round minimum filters transient burst queueing;
+  // it only inflates once a standing queue exists (cwnd above the BDP).
+  // Linux HyStart delay heuristic: exit at clamp(baseRTT/8, 4ms, 16ms).
+  TimeDelta thresh = std::clamp(base_rtt_ / 8, TimeDelta::Millis(4), TimeDelta::Millis(16));
+  bool exit_now = cwnd_ >= kHystartMinCwnd && round_min_rtt_ >= base_rtt_ + thresh;
+  base_rtt_ = std::min(base_rtt_, round_min_rtt_);
+  round_start_ = ack.now;
+  round_min_rtt_ = ack.rtt;
+  return exit_now;
+}
+
+void Cubic::OnAck(const AckSample& ack) {
+  if (ack.in_fast_recovery) {
+    return;  // hold cwnd until recovery completes (Linux: PRR holds ~ssthresh)
+  }
+  double acked = static_cast<double>(ack.acked_pkts);
+  if (cwnd_ < ssthresh_) {
+    if (HystartShouldExit(ack)) {
+      ssthresh_ = cwnd_;  // leave slow start without a loss
+    } else {
+      cwnd_ += acked;
+      return;
+    }
+  }
+  if (!in_epoch_) {
+    in_epoch_ = true;
+    epoch_start_ = ack.now;
+    if (cwnd_ < w_max_) {
+      k_ = std::cbrt((w_max_ - cwnd_) / kC);
+    } else {
+      k_ = 0.0;
+      w_max_ = cwnd_;
+    }
+    w_est_ = cwnd_;
+  }
+  double t = (ack.now - epoch_start_).ToSeconds();
+  double rtt_s = ack.rtt_valid ? ack.rtt.ToSeconds() : 0.0;
+  // Project one RTT ahead, per RFC 8312 §4.1.
+  double t_proj = t + rtt_s;
+  double w_cubic = kC * (t_proj - k_) * (t_proj - k_) * (t_proj - k_) + w_max_;
+  // TCP-friendly region estimate (RFC 8312 §4.2).
+  w_est_ += acked * (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) / cwnd_;
+  double target = std::max(w_cubic, w_est_);
+  if (target > cwnd_) {
+    // Increase spread over the window: (target - cwnd)/cwnd per acked packet,
+    // capped at 1.5 packets per acked packet to avoid giant steps after idle.
+    double inc = std::min((target - cwnd_) / cwnd_, 1.5);
+    cwnd_ += inc * acked;
+  } else {
+    cwnd_ += 0.01 * acked / cwnd_;  // minimal growth in the concave plateau
+  }
+}
+
+void Cubic::OnLoss(const LossSample& loss) {
+  if (loss.is_timeout) {
+    ssthresh_ = std::max(cwnd_ * kBeta, 2.0);
+    w_max_ = cwnd_;
+    cwnd_ = 1.0;
+    in_epoch_ = false;
+    return;
+  }
+  // Fast convergence: release bandwidth faster when the window is still
+  // below the previous maximum.
+  if (cwnd_ < w_max_) {
+    w_max_ = cwnd_ * (2.0 - kBeta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  cwnd_ = std::max(cwnd_ * kBeta, 2.0);
+  ssthresh_ = cwnd_;
+  in_epoch_ = false;
+}
+
+}  // namespace bundler

@@ -1,0 +1,49 @@
+// CUBIC (Ha, Rhee, Xu; RFC 8312): the paper's default end-host congestion
+// controller. Window growth follows a cubic function of time since the last
+// loss, with the TCP-friendly region, fast convergence, and a HyStart-style
+// delay-based slow-start exit (on by default in Linux), which prevents the
+// giant overshoot losses classic slow start suffers in bufferbloated paths.
+#ifndef SRC_CC_CUBIC_H_
+#define SRC_CC_CUBIC_H_
+
+#include "src/cc/cc.h"
+
+namespace bundler {
+
+class Cubic : public HostCc {
+ public:
+  Cubic() = default;
+
+  void OnAck(const AckSample& ack) override;
+  void OnLoss(const LossSample& loss) override;
+  double CwndPkts() const override { return cwnd_; }
+  const char* name() const override { return "cubic"; }
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  static constexpr double kC = 0.4;      // cubic scaling constant
+  static constexpr double kBeta = 0.7;   // multiplicative decrease
+  static constexpr double kHystartMinCwnd = 16.0;
+
+  bool HystartShouldExit(const AckSample& ack);
+
+  double cwnd_ = kInitialCwndPkts;
+  double ssthresh_ = 1e9;
+  double w_max_ = 0.0;
+  double w_est_ = 0.0;       // TCP-friendly (Reno-tracking) estimate
+  double k_ = 0.0;           // time (s) for the cubic to return to w_max
+  TimePoint epoch_start_;
+  bool in_epoch_ = false;
+  // HyStart state: baseline min RTT, and the minimum sample within the
+  // current round. Comparing per-round minima filters micro-burst spikes so
+  // slow start only exits on a *standing* queue (as in Linux).
+  TimeDelta base_rtt_ = TimeDelta::Zero();
+  TimeDelta round_min_rtt_ = TimeDelta::Zero();
+  TimePoint round_start_;
+  bool round_active_ = false;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_CC_CUBIC_H_

@@ -1,0 +1,31 @@
+#include "src/cc/new_reno.h"
+
+#include <algorithm>
+
+namespace bundler {
+
+void NewReno::OnAck(const AckSample& ack) {
+  if (ack.in_fast_recovery) {
+    return;  // hold cwnd at ssthresh until recovery completes
+  }
+  double acked = static_cast<double>(ack.acked_pkts);
+  if (cwnd_ < ssthresh_) {
+    // Slow start: one packet per acked packet.
+    cwnd_ += acked;
+    return;
+  }
+  // Congestion avoidance: ~one packet per RTT.
+  cwnd_ += acked / cwnd_;
+}
+
+void NewReno::OnLoss(const LossSample& loss) {
+  if (loss.is_timeout) {
+    ssthresh_ = std::max(loss.inflight_pkts / 2.0, 2.0);
+    cwnd_ = 1.0;
+    return;
+  }
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+}
+
+}  // namespace bundler

@@ -1,0 +1,27 @@
+// TCP NewReno: slow start + AIMD congestion avoidance.
+#ifndef SRC_CC_NEW_RENO_H_
+#define SRC_CC_NEW_RENO_H_
+
+#include "src/cc/cc.h"
+
+namespace bundler {
+
+class NewReno : public HostCc {
+ public:
+  NewReno() = default;
+
+  void OnAck(const AckSample& ack) override;
+  void OnLoss(const LossSample& loss) override;
+  double CwndPkts() const override { return cwnd_; }
+  const char* name() const override { return "newreno"; }
+
+  double ssthresh() const { return ssthresh_; }
+
+ private:
+  double cwnd_ = kInitialCwndPkts;
+  double ssthresh_ = 1e9;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_CC_NEW_RENO_H_

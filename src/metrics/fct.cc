@@ -1,0 +1,88 @@
+#include "src/metrics/fct.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+bool RequestFilter::Matches(const RequestRecord& r) const {
+  if (r.start < min_start || r.start >= max_start) {
+    return false;
+  }
+  if (r.size_bytes < min_size || r.size_bytes > max_size) {
+    return false;
+  }
+  if (priority >= 0 && r.priority != priority) {
+    return false;
+  }
+  return true;
+}
+
+RequestFilter RequestFilter::SmallFlows() {
+  RequestFilter f;
+  f.max_size = kSmallFlowMaxBytes;
+  return f;
+}
+
+RequestFilter RequestFilter::MediumFlows() {
+  RequestFilter f;
+  f.min_size = kSmallFlowMaxBytes + 1;
+  f.max_size = kMediumFlowMaxBytes;
+  return f;
+}
+
+RequestFilter RequestFilter::LargeFlows() {
+  RequestFilter f;
+  f.min_size = kMediumFlowMaxBytes + 1;
+  return f;
+}
+
+uint64_t FctRecorder::RegisterRequest(int64_t size_bytes, TimePoint start, uint8_t priority) {
+  RequestRecord rec;
+  rec.id = records_.size();
+  rec.size_bytes = size_bytes;
+  rec.start = start;
+  rec.priority = priority;
+  records_.push_back(rec);
+  return rec.id;
+}
+
+void FctRecorder::OnComplete(uint64_t id, TimePoint end) {
+  BUNDLER_CHECK(id < records_.size());
+  RequestRecord& rec = records_[id];
+  if (rec.done) {
+    return;
+  }
+  rec.done = true;
+  rec.end = end;
+  ++completed_;
+}
+
+QuantileEstimator FctRecorder::Fcts(const RequestFilter& filter) const {
+  QuantileEstimator q;
+  for (const RequestRecord& r : records_) {
+    if (r.done && filter.Matches(r)) {
+      q.Add((r.end - r.start).ToSeconds());
+    }
+  }
+  return q;
+}
+
+QuantileEstimator FctRecorder::Slowdowns(const IdealFctFn& ideal,
+                                         const RequestFilter& filter) const {
+  QuantileEstimator q;
+  for (const RequestRecord& r : records_) {
+    if (!r.done || !filter.Matches(r)) {
+      continue;
+    }
+    TimeDelta base = ideal(r.size_bytes);
+    if (base <= TimeDelta::Zero()) {
+      continue;
+    }
+    q.Add((r.end - r.start) / base);
+  }
+  return q;
+}
+
+}  // namespace bundler

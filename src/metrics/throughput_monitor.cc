@@ -1,0 +1,58 @@
+#include "src/metrics/throughput_monitor.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+CounterSampler::CounterSampler(Simulator* sim, TimeDelta interval,
+                               std::function<int64_t()> counter)
+    : sim_(sim), interval_(interval), counter_(std::move(counter)), last_time_(sim->now()) {
+  BUNDLER_CHECK(sim_ != nullptr);
+  BUNDLER_CHECK(interval_.nanos() > 0);
+  BUNDLER_CHECK(counter_ != nullptr);
+  last_value_ = counter_();
+  cumulative_.Add(last_time_, static_cast<double>(last_value_));
+  timer_ = sim_->Schedule(interval_, [this]() { Tick(); });
+}
+
+CounterSampler::~CounterSampler() {
+  if (timer_ != kInvalidEventId) {
+    sim_->Cancel(timer_);
+  }
+}
+
+void CounterSampler::Tick() {
+  timer_ = sim_->Schedule(interval_, [this]() { Tick(); });
+  TimePoint now = sim_->now();
+  int64_t value = counter_();
+  double mbps = static_cast<double>(value - last_value_) * 8.0 /
+                (now - last_time_).ToSeconds() * 1e-6;
+  rate_mbps_.Add(last_time_ + (now - last_time_) / 2, mbps);
+  cumulative_.Add(now, static_cast<double>(value));
+  last_value_ = value;
+  last_time_ = now;
+}
+
+Rate CounterSampler::AverageRate(TimePoint from, TimePoint to) const {
+  // Find cumulative counts at the sample boundaries nearest [from, to).
+  const auto& s = cumulative_.samples();
+  if (s.size() < 2 || to <= from) {
+    return Rate::Zero();
+  }
+  auto value_at = [&](TimePoint t) -> double {
+    double v = s.front().value;
+    for (const auto& sample : s) {
+      if (sample.time > t) {
+        break;
+      }
+      v = sample.value;
+    }
+    return v;
+  };
+  double bytes = value_at(to) - value_at(from);
+  return Rate::FromBytesAndTime(static_cast<int64_t>(bytes), to - from);
+}
+
+}  // namespace bundler

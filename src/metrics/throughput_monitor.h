@@ -1,0 +1,42 @@
+// Samples a cumulative byte counter into a windowed throughput series —
+// e.g. "bundle goodput at the receivers" for Figs. 10/12/13.
+#ifndef SRC_METRICS_THROUGHPUT_MONITOR_H_
+#define SRC_METRICS_THROUGHPUT_MONITOR_H_
+
+#include <functional>
+
+#include "src/sim/simulator.h"
+#include "src/util/rate.h"
+#include "src/util/timeseries.h"
+
+namespace bundler {
+
+class CounterSampler {
+ public:
+  CounterSampler(Simulator* sim, TimeDelta interval, std::function<int64_t()> counter);
+  ~CounterSampler();
+  CounterSampler(const CounterSampler&) = delete;
+  CounterSampler& operator=(const CounterSampler&) = delete;
+
+  // Throughput over each elapsed interval, Mbit/s, stamped at the interval
+  // midpoint.
+  const TimeSeries& rate_mbps() const { return rate_mbps_; }
+  // Average over [from, to) using the cumulative counter samples.
+  Rate AverageRate(TimePoint from, TimePoint to) const;
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  TimeDelta interval_;
+  std::function<int64_t()> counter_;
+  EventId timer_ = kInvalidEventId;
+  TimeSeries rate_mbps_;
+  TimeSeries cumulative_;  // (time, total bytes)
+  int64_t last_value_ = 0;
+  TimePoint last_time_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_METRICS_THROUGHPUT_MONITOR_H_

@@ -1,0 +1,68 @@
+// Store-and-forward link: fixed serialization rate, fixed propagation delay,
+// and a pluggable egress queue discipline. A Link is itself a PacketHandler,
+// so topologies compose uniformly (host -> link -> router -> link -> ...).
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/node.h"
+#include "src/qdisc/qdisc.h"
+#include "src/sim/simulator.h"
+#include "src/util/rate.h"
+
+namespace bundler {
+
+// Observation hooks for monitors (queue delay, throughput, loss accounting).
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  // Fired when a packet begins serialization; `queue_delay` is its sojourn in
+  // the egress queue.
+  virtual void OnDequeue(const Packet& pkt, TimeDelta queue_delay, TimePoint now) = 0;
+  virtual void OnDrop(const Packet& pkt, TimePoint now) = 0;
+};
+
+struct LinkStats {
+  uint64_t packets_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t drops = 0;
+};
+
+class Link : public PacketHandler {
+ public:
+  Link(Simulator* sim, std::string name, Rate rate, TimeDelta prop_delay,
+       std::unique_ptr<Qdisc> queue, PacketHandler* dst);
+
+  // Enqueue for transmission.
+  void HandlePacket(Packet pkt) override;
+
+  Qdisc* queue() { return queue_.get(); }
+  const LinkStats& stats() const { return stats_; }
+  Rate rate() const { return rate_; }
+  TimeDelta prop_delay() const { return prop_delay_; }
+  const std::string& name() const { return name_; }
+
+  void AddObserver(LinkObserver* obs) { observers_.push_back(obs); }
+  void set_dst(PacketHandler* dst) { dst_ = dst; }
+
+ private:
+  void MaybeStartTransmission();
+  void OnTransmitDone(Packet pkt);
+
+  Simulator* sim_;
+  std::string name_;
+  Rate rate_;
+  TimeDelta prop_delay_;
+  std::unique_ptr<Qdisc> queue_;
+  PacketHandler* dst_;
+  bool busy_ = false;
+  LinkStats stats_;
+  std::vector<LinkObserver*> observers_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_NET_LINK_H_

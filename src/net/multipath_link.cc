@@ -1,0 +1,43 @@
+#include "src/net/multipath_link.h"
+
+#include <utility>
+
+#include "src/qdisc/fifo.h"
+#include "src/util/check.h"
+#include "src/util/fnv.h"
+
+namespace bundler {
+
+MultipathLink::MultipathLink(Simulator* sim, std::string name,
+                             const std::vector<PathSpec>& paths, LoadBalanceMode mode,
+                             PacketHandler* dst)
+    : name_(std::move(name)), mode_(mode) {
+  BUNDLER_CHECK(!paths.empty());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    auto queue = std::make_unique<DropTailFifo>(paths[i].queue_limit_bytes);
+    paths_.push_back(std::make_unique<Link>(sim, name_ + ".path" + std::to_string(i),
+                                            paths[i].rate, paths[i].prop_delay,
+                                            std::move(queue), dst));
+  }
+}
+
+size_t MultipathLink::PathIndexFor(const Packet& pkt) {
+  if (mode_ == LoadBalanceMode::kPacketSpray) {
+    size_t idx = rr_next_;
+    rr_next_ = (rr_next_ + 1) % paths_.size();
+    return idx;
+  }
+  const uint64_t fields[] = {pkt.key.src,
+                             pkt.key.dst,
+                             static_cast<uint64_t>(pkt.key.src_port),
+                             static_cast<uint64_t>(pkt.key.dst_port),
+                             static_cast<uint64_t>(pkt.key.protocol)};
+  return Mix64(Fnv1a64Combine(fields, 5)) % paths_.size();
+}
+
+void MultipathLink::HandlePacket(Packet pkt) {
+  size_t idx = PathIndexFor(pkt);
+  paths_[idx]->HandlePacket(std::move(pkt));
+}
+
+}  // namespace bundler

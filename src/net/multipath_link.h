@@ -1,0 +1,51 @@
+// Load-balanced bottleneck: N parallel sub-links, each with its own rate,
+// propagation delay, and queue. Models the in-network multipathing of §5.2:
+// per-flow ECMP (hash of the 5-tuple) keeps flows pinned to a path, packet
+// spraying round-robins every packet.
+#ifndef SRC_NET_MULTIPATH_LINK_H_
+#define SRC_NET_MULTIPATH_LINK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/node.h"
+#include "src/sim/simulator.h"
+#include "src/util/rate.h"
+
+namespace bundler {
+
+enum class LoadBalanceMode {
+  kFlowHash,      // per-flow ECMP on the 5-tuple
+  kPacketSpray,   // per-packet round robin
+};
+
+class MultipathLink : public PacketHandler {
+ public:
+  struct PathSpec {
+    Rate rate;
+    TimeDelta prop_delay;
+    int64_t queue_limit_bytes;
+  };
+
+  MultipathLink(Simulator* sim, std::string name, const std::vector<PathSpec>& paths,
+                LoadBalanceMode mode, PacketHandler* dst);
+
+  void HandlePacket(Packet pkt) override;
+
+  size_t num_paths() const { return paths_.size(); }
+  Link* path(size_t i) { return paths_[i].get(); }
+  // Index the balancer would pick for this packet (exposed for tests).
+  size_t PathIndexFor(const Packet& pkt);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Link>> paths_;
+  LoadBalanceMode mode_;
+  size_t rr_next_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_NET_MULTIPATH_LINK_H_

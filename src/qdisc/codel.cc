@@ -1,0 +1,91 @@
+#include "src/qdisc/codel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+TimePoint CodelState::ControlLaw(TimePoint t) const {
+  double scaled = params_.interval.ToSeconds() / std::sqrt(static_cast<double>(count_));
+  return t + TimeDelta::SecondsF(scaled);
+}
+
+bool CodelState::ShouldDrop(TimeDelta sojourn, TimePoint now) {
+  bool ok_to_drop = false;
+  if (sojourn < params_.target) {
+    first_above_time_ = TimePoint::Infinite();
+  } else {
+    if (first_above_time_.IsInfinite()) {
+      first_above_time_ = now + params_.interval;
+    } else if (now >= first_above_time_) {
+      ok_to_drop = true;
+    }
+  }
+
+  if (dropping_) {
+    if (!ok_to_drop) {
+      dropping_ = false;
+      return false;
+    }
+    if (now >= drop_next_) {
+      ++count_;
+      drop_next_ = ControlLaw(drop_next_);
+      return true;
+    }
+    return false;
+  }
+
+  if (ok_to_drop) {
+    dropping_ = true;
+    // Restart from a drop rate informed by the last dropping episode
+    // (the standard CoDel "resume where we left off" heuristic).
+    uint32_t delta = count_ - last_count_;
+    count_ = (delta > 1 && now - drop_next_ < params_.interval * 16) ? delta : 1;
+    drop_next_ = ControlLaw(now);
+    last_count_ = count_;
+    return true;
+  }
+  return false;
+}
+
+Codel::Codel(int64_t limit_bytes, const CodelParams& params)
+    : limit_bytes_(limit_bytes), params_(params), state_(params) {
+  BUNDLER_CHECK(limit_bytes_ > 0);
+}
+
+bool Codel::Enqueue(Packet pkt, TimePoint now) {
+  (void)now;
+  if (bytes_ + pkt.size_bytes > limit_bytes_) {
+    CountDrop();
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  queue_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> Codel::Dequeue(TimePoint now) {
+  while (!queue_.empty()) {
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    TimeDelta sojourn = now - pkt.queue_enter;
+    if (state_.ShouldDrop(sojourn, now)) {
+      CountDrop();
+      continue;
+    }
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+const Packet* Codel::Peek() const {
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  return &queue_.front();
+}
+
+}  // namespace bundler

@@ -1,0 +1,63 @@
+// CoDel AQM (Nichols & Jacobson, "Controlling Queue Delay"). Packets whose
+// sojourn time stays above `target` for at least `interval` are dropped at
+// dequeue, with the drop rate increasing by an inverse-sqrt control law.
+// Shared by the standalone Codel qdisc and FqCodel's per-flow instances.
+#ifndef SRC_QDISC_CODEL_H_
+#define SRC_QDISC_CODEL_H_
+
+#include <deque>
+
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+
+struct CodelParams {
+  TimeDelta target = TimeDelta::Millis(5);
+  TimeDelta interval = TimeDelta::Millis(100);
+};
+
+// The control-law state machine, independent of queue storage so FQ-CoDel can
+// embed one per flow.
+class CodelState {
+ public:
+  explicit CodelState(const CodelParams& params) : params_(params) {}
+
+  // Decide whether the packet dequeued at `now` with the given sojourn should
+  // be dropped. Call for every dequeued packet, in order.
+  bool ShouldDrop(TimeDelta sojourn, TimePoint now);
+
+  uint32_t drop_count() const { return count_; }
+
+ private:
+  TimePoint ControlLaw(TimePoint t) const;
+
+  CodelParams params_;
+  TimePoint first_above_time_ = TimePoint::Infinite();
+  TimePoint drop_next_;
+  uint32_t count_ = 0;
+  uint32_t last_count_ = 0;
+  bool dropping_ = false;
+};
+
+class Codel : public Qdisc {
+ public:
+  Codel(int64_t limit_bytes, const CodelParams& params);
+
+  bool Enqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> Dequeue(TimePoint now) override;
+  const Packet* Peek() const override;
+  int64_t bytes() const override { return bytes_; }
+  int64_t packets() const override { return static_cast<int64_t>(queue_.size()); }
+  const char* name() const override { return "codel"; }
+
+ private:
+  int64_t limit_bytes_;
+  CodelParams params_;
+  CodelState state_;
+  std::deque<Packet> queue_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_CODEL_H_

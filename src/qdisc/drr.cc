@@ -1,0 +1,132 @@
+#include "src/qdisc/drr.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/fnv.h"
+
+namespace bundler {
+
+Drr::Drr(const Config& config) : config_(config) {
+  BUNDLER_CHECK(config_.limit_bytes > 0);
+  BUNDLER_CHECK(config_.quantum_bytes > 0);
+}
+
+uint64_t Drr::FlowHash(const Packet& pkt) {
+  const uint64_t fields[] = {pkt.key.src,
+                             pkt.key.dst,
+                             static_cast<uint64_t>(pkt.key.src_port),
+                             static_cast<uint64_t>(pkt.key.dst_port),
+                             static_cast<uint64_t>(pkt.key.protocol)};
+  return Fnv1a64Combine(fields, 5);
+}
+
+bool Drr::Enqueue(Packet pkt, TimePoint now) {
+  (void)now;
+  uint64_t flow = FlowHash(pkt);
+  auto it = flow_to_slot_.find(flow);
+  size_t slot;
+  if (it == flow_to_slot_.end()) {
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = slots_.size();
+      slots_.emplace_back();
+    }
+    flow_to_slot_[flow] = slot;
+    slot_to_flow_[slot] = flow;
+  } else {
+    slot = it->second;
+  }
+  FlowQueue& fq = slots_[slot];
+  bytes_ += pkt.size_bytes;
+  fq.bytes += pkt.size_bytes;
+  fq.queue.push_back(std::move(pkt));
+  ++packets_;
+  if (!fq.active) {
+    fq.active = true;
+    fq.deficit = 0;
+    active_.push_back(slot);
+  }
+  if (bytes_ > config_.limit_bytes) {
+    DropFromLongest();
+    return false;
+  }
+  return true;
+}
+
+void Drr::DropFromLongest() {
+  size_t longest = 0;
+  int64_t longest_bytes = -1;
+  for (size_t slot : active_) {
+    if (slots_[slot].bytes > longest_bytes) {
+      longest_bytes = slots_[slot].bytes;
+      longest = slot;
+    }
+  }
+  BUNDLER_CHECK(longest_bytes >= 0);
+  FlowQueue& fq = slots_[longest];
+  BUNDLER_CHECK(!fq.queue.empty());
+  const Packet& victim = fq.queue.back();
+  fq.bytes -= victim.size_bytes;
+  bytes_ -= victim.size_bytes;
+  fq.queue.pop_back();
+  --packets_;
+  CountDrop();
+  if (fq.queue.empty()) {
+    fq.active = false;
+    active_.remove(longest);
+    flow_to_slot_.erase(slot_to_flow_[longest]);
+    slot_to_flow_.erase(longest);
+    free_slots_.push_back(longest);
+  }
+}
+
+std::optional<Packet> Drr::Dequeue(TimePoint now) {
+  (void)now;
+  while (!active_.empty()) {
+    size_t slot = active_.front();
+    FlowQueue& fq = slots_[slot];
+    if (fq.queue.empty()) {
+      fq.active = false;
+      active_.pop_front();
+      flow_to_slot_.erase(slot_to_flow_[slot]);
+      slot_to_flow_.erase(slot);
+      free_slots_.push_back(slot);
+      continue;
+    }
+    if (fq.deficit <= 0) {
+      fq.deficit += config_.quantum_bytes;
+      active_.pop_front();
+      active_.push_back(slot);
+      continue;
+    }
+    Packet pkt = std::move(fq.queue.front());
+    fq.queue.pop_front();
+    fq.bytes -= pkt.size_bytes;
+    fq.deficit -= pkt.size_bytes;
+    bytes_ -= pkt.size_bytes;
+    --packets_;
+    if (fq.queue.empty()) {
+      fq.active = false;
+      active_.pop_front();
+      flow_to_slot_.erase(slot_to_flow_[slot]);
+      slot_to_flow_.erase(slot);
+      free_slots_.push_back(slot);
+    }
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+const Packet* Drr::Peek() const {
+  for (size_t slot : active_) {
+    if (!slots_[slot].queue.empty()) {
+      return &slots_[slot].queue.front();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bundler

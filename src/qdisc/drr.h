@@ -1,0 +1,59 @@
+// Deficit Round Robin with exact per-flow queues (Shreedhar & Varghese).
+// Used as the "In-Network" fair-queueing bottleneck baseline of §7.2 — the
+// configuration the paper argues is not deployable but bounds what Bundler
+// can achieve.
+#ifndef SRC_QDISC_DRR_H_
+#define SRC_QDISC_DRR_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+
+class Drr : public Qdisc {
+ public:
+  struct Config {
+    int64_t limit_bytes = 4 * 1024 * 1024;
+    int64_t quantum_bytes = 1514;
+  };
+
+  explicit Drr(const Config& config);
+
+  bool Enqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> Dequeue(TimePoint now) override;
+  const Packet* Peek() const override;
+  int64_t bytes() const override { return bytes_; }
+  int64_t packets() const override { return packets_; }
+  const char* name() const override { return "drr"; }
+
+  size_t active_flows() const { return active_.size(); }
+
+ private:
+  struct FlowQueue {
+    std::deque<Packet> queue;
+    int64_t bytes = 0;
+    int64_t deficit = 0;
+    bool active = false;
+  };
+
+  static uint64_t FlowHash(const Packet& pkt);
+  void DropFromLongest();
+
+  Config config_;
+  std::unordered_map<uint64_t, size_t> flow_to_slot_;
+  std::vector<FlowQueue> slots_;
+  std::vector<size_t> free_slots_;
+  std::unordered_map<size_t, uint64_t> slot_to_flow_;
+  std::list<size_t> active_;
+  int64_t bytes_ = 0;
+  int64_t packets_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_DRR_H_

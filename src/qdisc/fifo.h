@@ -1,0 +1,32 @@
+// Drop-tail FIFO, byte-limited — the status-quo bottleneck queue.
+#ifndef SRC_QDISC_FIFO_H_
+#define SRC_QDISC_FIFO_H_
+
+#include <deque>
+
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+
+class DropTailFifo : public Qdisc {
+ public:
+  explicit DropTailFifo(int64_t limit_bytes);
+
+  bool Enqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> Dequeue(TimePoint now) override;
+  const Packet* Peek() const override;
+  int64_t bytes() const override { return bytes_; }
+  int64_t packets() const override { return static_cast<int64_t>(queue_.size()); }
+  const char* name() const override { return "droptail_fifo"; }
+
+  int64_t limit_bytes() const { return limit_bytes_; }
+
+ private:
+  int64_t limit_bytes_;
+  int64_t bytes_ = 0;
+  std::deque<Packet> queue_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_FIFO_H_

@@ -1,0 +1,60 @@
+// FQ-CoDel (RFC 8290): DRR across hashed flow buckets with a CoDel instance
+// per bucket and the new-flow priority list. Evaluated as an alternative
+// sendbox policy in §7.2 (97% lower median end-to-end RTT).
+#ifndef SRC_QDISC_FQ_CODEL_H_
+#define SRC_QDISC_FQ_CODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <vector>
+
+#include "src/qdisc/codel.h"
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+
+class FqCodel : public Qdisc {
+ public:
+  struct Config {
+    size_t num_buckets = 1024;
+    int64_t limit_packets = 10240;
+    int64_t quantum_bytes = kMtuBytes;  // one full-size packet per round
+    CodelParams codel;
+    uint64_t perturbation = 0;
+  };
+
+  explicit FqCodel(const Config& config);
+
+  bool Enqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> Dequeue(TimePoint now) override;
+  const Packet* Peek() const override;
+  int64_t bytes() const override { return bytes_; }
+  int64_t packets() const override { return packets_; }
+  const char* name() const override { return "fq_codel"; }
+
+ private:
+  struct Bucket {
+    std::deque<Packet> queue;
+    std::unique_ptr<CodelState> codel;
+    int64_t bytes = 0;
+    int64_t deficit = 0;
+    enum class ListState { kNone, kNew, kOld } list_state = ListState::kNone;
+  };
+
+  size_t BucketFor(const Packet& pkt) const;
+  void DropFromFattest();
+  std::optional<Packet> DequeueFromList(std::list<size_t>& list, bool is_new_list,
+                                        TimePoint now);
+
+  Config config_;
+  std::vector<Bucket> buckets_;
+  std::list<size_t> new_flows_;
+  std::list<size_t> old_flows_;
+  int64_t bytes_ = 0;
+  int64_t packets_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_FQ_CODEL_H_

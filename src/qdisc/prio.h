@@ -1,0 +1,46 @@
+// Strict priority scheduling over a small number of bands; band 0 is served
+// first. §7.2 uses this to give one traffic class 65% lower median FCT.
+#ifndef SRC_QDISC_PRIO_H_
+#define SRC_QDISC_PRIO_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+
+class StrictPrio : public Qdisc {
+ public:
+  using Classifier = std::function<size_t(const Packet&)>;
+
+  // `classifier` maps a packet to a band in [0, num_bands); by default the
+  // packet's `priority` field is used (clamped to the last band).
+  StrictPrio(size_t num_bands, int64_t limit_bytes_per_band, Classifier classifier = nullptr);
+
+  bool Enqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> Dequeue(TimePoint now) override;
+  const Packet* Peek() const override;
+  int64_t bytes() const override { return bytes_; }
+  int64_t packets() const override { return packets_; }
+  const char* name() const override { return "strict_prio"; }
+
+  int64_t band_bytes(size_t band) const { return bands_[band].bytes; }
+
+ private:
+  struct Band {
+    std::deque<Packet> queue;
+    int64_t bytes = 0;
+  };
+
+  std::vector<Band> bands_;
+  int64_t limit_bytes_per_band_;
+  Classifier classifier_;
+  int64_t bytes_ = 0;
+  int64_t packets_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_PRIO_H_

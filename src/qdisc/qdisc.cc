@@ -1,0 +1,5 @@
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+// Interface-only translation unit (anchors the vtable).
+}  // namespace bundler

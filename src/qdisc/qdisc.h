@@ -1,0 +1,44 @@
+// Queue discipline interface. Qdiscs are passive containers: links and the
+// sendbox shaper drive them. A qdisc may drop at enqueue (droptail) or at
+// dequeue (CoDel); dequeue-time drops are internal, so `Dequeue` can return
+// nullopt even when `packets() > 0` was true before the call.
+#ifndef SRC_QDISC_QDISC_H_
+#define SRC_QDISC_QDISC_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+class Qdisc {
+ public:
+  virtual ~Qdisc() = default;
+
+  // Returns false if the packet was dropped instead of enqueued.
+  virtual bool Enqueue(Packet pkt, TimePoint now) = 0;
+  virtual std::optional<Packet> Dequeue(TimePoint now) = 0;
+  // Next packet that Dequeue would consider, or nullptr when empty. AQM
+  // policies may still drop it at Dequeue time.
+  virtual const Packet* Peek() const = 0;
+
+  virtual int64_t bytes() const = 0;
+  virtual int64_t packets() const = 0;
+  bool Empty() const { return packets() == 0; }
+
+  uint64_t drops() const { return drops_; }
+  virtual const char* name() const = 0;
+
+ protected:
+  void CountDrop() { ++drops_; }
+
+ private:
+  uint64_t drops_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_QDISC_H_

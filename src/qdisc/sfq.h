@@ -1,0 +1,58 @@
+// Stochastic Fairness Queueing (McKenney, INFOCOM 1990) — the paper's default
+// sendbox scheduling policy. Flows hash (with a perturbation seed) into a
+// fixed set of buckets; buckets are served round-robin with a byte quantum,
+// and overflow drops from the currently longest bucket, which is what bounds
+// any one flow's share of the buffer.
+#ifndef SRC_QDISC_SFQ_H_
+#define SRC_QDISC_SFQ_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <vector>
+
+#include "src/qdisc/qdisc.h"
+
+namespace bundler {
+
+class Sfq : public Qdisc {
+ public:
+  struct Config {
+    size_t num_buckets = 1024;
+    int64_t limit_packets = 4000;   // total packets across buckets
+    int64_t quantum_bytes = 1514;   // bytes a bucket may send per round
+    uint64_t perturbation = 0;      // hash seed
+  };
+
+  explicit Sfq(const Config& config);
+
+  bool Enqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> Dequeue(TimePoint now) override;
+  const Packet* Peek() const override;
+  int64_t bytes() const override { return bytes_; }
+  int64_t packets() const override { return packets_; }
+  const char* name() const override { return "sfq"; }
+
+  size_t BucketFor(const Packet& pkt) const;
+  size_t active_buckets() const { return active_.size(); }
+
+ private:
+  struct Bucket {
+    std::deque<Packet> queue;
+    int64_t bytes = 0;
+    int64_t deficit = 0;
+    bool active = false;
+  };
+
+  void DropFromLongest();
+
+  Config config_;
+  std::vector<Bucket> buckets_;
+  std::list<size_t> active_;  // round-robin order of non-empty buckets
+  int64_t bytes_ = 0;
+  int64_t packets_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_SFQ_H_

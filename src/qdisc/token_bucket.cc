@@ -1,0 +1,131 @@
+#include "src/qdisc/token_bucket.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+TokenBucket::TokenBucket(Rate rate, int64_t burst_bytes, TimePoint now)
+    : rate_(rate),
+      burst_bytes_(burst_bytes),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_(now) {
+  BUNDLER_CHECK(burst_bytes_ > 0);
+}
+
+void TokenBucket::Refill(TimePoint now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  tokens_ += rate_.BytesPerSecond() * (now - last_refill_).ToSeconds();
+  tokens_ = std::min(tokens_, static_cast<double>(burst_bytes_));
+  last_refill_ = now;
+}
+
+void TokenBucket::SetRate(Rate rate, TimePoint now) {
+  Refill(now);  // settle accounting at the old rate first
+  rate_ = rate;
+}
+
+bool TokenBucket::CanSend(int64_t bytes, TimePoint now) {
+  Refill(now);
+  // Tolerate sub-byte floating-point dust so a timer armed for "exactly when
+  // the deficit is repaid" is never judged fractionally early.
+  return tokens_ >= static_cast<double>(bytes) - 1e-6;
+}
+
+TimeDelta TokenBucket::TimeUntilAvailable(int64_t bytes, TimePoint now) {
+  Refill(now);
+  double deficit = static_cast<double>(bytes) - tokens_;
+  if (deficit <= 0.0) {
+    return TimeDelta::Zero();
+  }
+  if (rate_.IsZero()) {
+    return TimeDelta::Infinite();
+  }
+  // Round up to the next nanosecond: waking even fractionally early would
+  // find the bucket still short and re-arm a zero-length timer forever.
+  double ns = deficit / rate_.BytesPerSecond() * 1e9;
+  return TimeDelta::Nanos(static_cast<int64_t>(ns) + 1);
+}
+
+void TokenBucket::Consume(int64_t bytes, TimePoint now) {
+  Refill(now);
+  // Allowed to go slightly negative when the dequeued packet differs from the
+  // peeked one (e.g. SFQ rotated buckets); the deficit is repaid by waiting.
+  tokens_ -= static_cast<double>(bytes);
+}
+
+Shaper::Shaper(Simulator* sim, std::unique_ptr<Qdisc> queue, Rate rate, int64_t burst_bytes,
+               std::function<void(Packet)> out)
+    : sim_(sim),
+      queue_(std::move(queue)),
+      bucket_(rate, burst_bytes, sim->now()),
+      out_(std::move(out)) {
+  BUNDLER_CHECK(sim_ != nullptr);
+  BUNDLER_CHECK(queue_ != nullptr);
+  BUNDLER_CHECK(out_ != nullptr);
+}
+
+Shaper::~Shaper() {
+  if (pending_timer_ != kInvalidEventId) {
+    sim_->Cancel(pending_timer_);
+  }
+}
+
+void Shaper::Enqueue(Packet pkt) {
+  pkt.queue_enter = sim_->now();
+  queue_->Enqueue(std::move(pkt), sim_->now());
+  Pump();
+}
+
+void Shaper::SetRate(Rate rate) {
+  bucket_.SetRate(rate, sim_->now());
+  // A rate increase may make the head transmittable earlier than the armed
+  // timer; re-evaluate.
+  if (pending_timer_ != kInvalidEventId) {
+    sim_->Cancel(pending_timer_);
+    pending_timer_ = kInvalidEventId;
+  }
+  Pump();
+}
+
+void Shaper::Pump() {
+  if (in_pump_) {
+    return;
+  }
+  in_pump_ = true;
+  TimePoint now = sim_->now();
+  while (true) {
+    const Packet* head = queue_->Peek();
+    if (head == nullptr) {
+      break;
+    }
+    int64_t head_bytes = head->size_bytes;
+    if (!bucket_.CanSend(head_bytes, now)) {
+      if (pending_timer_ == kInvalidEventId) {
+        TimeDelta wait = bucket_.TimeUntilAvailable(head_bytes, now);
+        if (wait.IsInfinite()) {
+          break;  // rate is zero; SetRate will restart the pump
+        }
+        pending_timer_ = sim_->Schedule(wait, [this]() {
+          pending_timer_ = kInvalidEventId;
+          Pump();
+        });
+      }
+      break;
+    }
+    std::optional<Packet> pkt = queue_->Dequeue(now);
+    if (!pkt.has_value()) {
+      break;  // AQM dropped the remainder
+    }
+    bucket_.Consume(pkt->size_bytes, now);
+    ++forwarded_packets_;
+    out_(std::move(*pkt));
+  }
+  in_pump_ = false;
+}
+
+}  // namespace bundler

@@ -1,0 +1,80 @@
+// Token-bucket rate enforcement, modeled on the paper's patched Linux TBF
+// (§6.1): the bucket is NOT refilled instantaneously when the rate changes,
+// so the sendbox's frequent rate updates do not cause bursts.
+//
+// `TokenBucket` is the passive accounting; `Shaper` drives a Qdisc with it
+// inside the event loop (this is the sendbox data plane's rate enforcement +
+// scheduling stage).
+#ifndef SRC_QDISC_TOKEN_BUCKET_H_
+#define SRC_QDISC_TOKEN_BUCKET_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/qdisc/qdisc.h"
+#include "src/sim/simulator.h"
+#include "src/util/rate.h"
+
+namespace bundler {
+
+class TokenBucket {
+ public:
+  TokenBucket(Rate rate, int64_t burst_bytes, TimePoint now);
+
+  // Update the refill rate going forward. Tokens accumulated so far are kept
+  // as-is (no instantaneous refill — the TBF patch).
+  void SetRate(Rate rate, TimePoint now);
+
+  bool CanSend(int64_t bytes, TimePoint now);
+  // Delay until `bytes` worth of tokens will be available (zero if already).
+  TimeDelta TimeUntilAvailable(int64_t bytes, TimePoint now);
+  void Consume(int64_t bytes, TimePoint now);
+
+  Rate rate() const { return rate_; }
+  double tokens_bytes(TimePoint now) {
+    Refill(now);
+    return tokens_;
+  }
+
+ private:
+  void Refill(TimePoint now);
+
+  Rate rate_;
+  int64_t burst_bytes_;
+  double tokens_;
+  TimePoint last_refill_;
+};
+
+// Owns a scheduling qdisc and transmits from it at the token-bucket rate.
+// Dequeued packets are handed to `out` (typically the site's egress link).
+class Shaper {
+ public:
+  Shaper(Simulator* sim, std::unique_ptr<Qdisc> queue, Rate rate, int64_t burst_bytes,
+         std::function<void(Packet)> out);
+  ~Shaper();
+  Shaper(const Shaper&) = delete;
+  Shaper& operator=(const Shaper&) = delete;
+
+  void Enqueue(Packet pkt);
+  void SetRate(Rate rate);
+  Rate rate() const { return bucket_.rate(); }
+
+  Qdisc* queue() { return queue_.get(); }
+  const Qdisc* queue() const { return queue_.get(); }
+  uint64_t forwarded_packets() const { return forwarded_packets_; }
+
+ private:
+  void Pump();
+
+  Simulator* sim_;
+  std::unique_ptr<Qdisc> queue_;
+  TokenBucket bucket_;
+  std::function<void(Packet)> out_;
+  EventId pending_timer_ = kInvalidEventId;
+  bool in_pump_ = false;
+  uint64_t forwarded_packets_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_QDISC_TOKEN_BUCKET_H_

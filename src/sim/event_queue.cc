@@ -1,0 +1,56 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+EventId EventQueue::Push(TimePoint time, Callback cb) {
+  uint64_t seq = next_seq_++;
+  // Sequence numbers double as event ids: they are unique and nonzero.
+  heap_.push(Event{time, seq, seq, std::move(cb)});
+  return seq;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id != kInvalidEventId) {
+    cancelled_.insert(id);
+  }
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  DropCancelledHead();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::NextTime() {
+  DropCancelledHead();
+  BUNDLER_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Callback EventQueue::PopNext(TimePoint* time_out) {
+  DropCancelledHead();
+  BUNDLER_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so cast
+  // away constness of the popped element (safe: we pop immediately after).
+  Event& top = const_cast<Event&>(heap_.top());
+  Callback cb = std::move(top.callback);
+  *time_out = top.time;
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace bundler

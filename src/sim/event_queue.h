@@ -1,0 +1,64 @@
+// Event queue for the discrete-event simulator: a binary heap ordered by
+// (time, insertion sequence). The sequence tiebreak guarantees FIFO dispatch
+// of events scheduled for the same instant, which keeps runs deterministic.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace bundler {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Returns an id usable with Cancel.
+  EventId Push(TimePoint time, Callback cb);
+
+  // Cancelled events stay in the heap but are skipped at pop time (lazy
+  // deletion). Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  bool Empty();
+  TimePoint NextTime();
+
+  // Pops the earliest live event; callers must ensure !Empty().
+  Callback PopNext(TimePoint* time_out);
+
+  size_t PendingForTest() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    uint64_t seq;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,45 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+EventId Simulator::Schedule(TimeDelta delay, EventQueue::Callback cb) {
+  BUNDLER_CHECK(delay >= TimeDelta::Zero());
+  return queue_.Push(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(TimePoint t, EventQueue::Callback cb) {
+  BUNDLER_CHECK_MSG(t >= now_, "scheduling into the past: %s < %s", t.ToString().c_str(),
+                    now_.ToString().c_str());
+  return queue_.Push(t, std::move(cb));
+}
+
+void Simulator::RunUntil(TimePoint until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty()) {
+    TimePoint next = queue_.NextTime();
+    if (next > until) {
+      break;
+    }
+    auto cb = queue_.PopNext(&now_);
+    ++events_dispatched_;
+    cb();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunAll() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty()) {
+    auto cb = queue_.PopNext(&now_);
+    ++events_dispatched_;
+    cb();
+  }
+}
+
+}  // namespace bundler

@@ -1,0 +1,46 @@
+// Discrete-event simulator driver. Owns the clock and the event queue;
+// every network component schedules timers through it.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedule `cb` to run after `delay` (>= 0) from now.
+  EventId Schedule(TimeDelta delay, EventQueue::Callback cb);
+  // Schedule `cb` at absolute time `t` (>= now).
+  EventId ScheduleAt(TimePoint t, EventQueue::Callback cb);
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  // Run until the queue drains or the clock would pass `until`.
+  void RunUntil(TimePoint until);
+  // Run until the queue drains completely.
+  void RunAll();
+  // Stop an in-progress Run* after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  TimePoint now_;
+  EventQueue queue_;
+  bool stopped_ = false;
+  uint64_t events_dispatched_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,130 @@
+// Dumbbell topology mirroring the paper's emulation setup (§7.1): per-bundle
+// sender sites behind sendboxes, a shared bottleneck link (optionally
+// load-balanced across N paths, optionally with in-network fair queueing for
+// the "In-Network" baseline), receiveboxes at the far side, receiver sites,
+// and a fat reverse path carrying ACKs and Bundler feedback. Unbundled cross
+// traffic enters at the bottleneck router and exits behind the receiveboxes.
+//
+//   server_i -> sendbox_i -> edge_i \                        / -> client_i
+//                                    bottleneck -> rb_0..rb_k
+//   cross_server -> cross_edge ----- /                        \ -> cross_client
+//
+#ifndef SRC_TOPO_DUMBBELL_H_
+#define SRC_TOPO_DUMBBELL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/bundler/receivebox.h"
+#include "src/bundler/sendbox.h"
+#include "src/net/link.h"
+#include "src/net/monitors.h"
+#include "src/net/multipath_link.h"
+#include "src/net/router.h"
+#include "src/sim/simulator.h"
+#include "src/transport/endpoint.h"
+
+namespace bundler {
+
+struct DumbbellConfig {
+  Rate bottleneck_rate = Rate::Mbps(96);
+  TimeDelta rtt = TimeDelta::Millis(50);
+  double bottleneck_buffer_bdp = 2.0;  // droptail limit as a multiple of BDP
+  bool in_network_fq = false;          // DRR at the bottleneck ("In-Network")
+
+  int num_bundles = 1;
+  bool bundler_enabled = true;
+  Sendbox::Config sendbox;  // site/address fields are filled in per bundle
+
+  int num_paths = 1;  // >1 = load-balanced bottleneck (§5.2 / §7.6)
+  TimeDelta path_delay_spread = TimeDelta::Zero();  // extra delay per path index
+  LoadBalanceMode lb_mode = LoadBalanceMode::kFlowHash;
+
+  Rate edge_rate = Rate::Gbps(1);
+  Rate reverse_rate = Rate::Gbps(1);
+
+  // Monitoring knobs.
+  TimeDelta rate_meter_window = TimeDelta::Millis(50);
+};
+
+SiteId BundleSrcSite(int bundle);
+SiteId BundleDstSite(int bundle);
+SiteId CrossSrcSite();
+SiteId CrossDstSite();
+
+class Dumbbell {
+ public:
+  Dumbbell(Simulator* sim, const DumbbellConfig& config);
+  Dumbbell(const Dumbbell&) = delete;
+  Dumbbell& operator=(const Dumbbell&) = delete;
+
+  Host* server(int bundle = 0) { return servers_[bundle].get(); }
+  Host* client(int bundle = 0) { return clients_[bundle].get(); }
+  Host* cross_server() { return cross_server_.get(); }
+  Host* cross_client() { return cross_client_.get(); }
+
+  // Null when the bundler is disabled.
+  Sendbox* sendbox(int bundle = 0);
+  Receivebox* receivebox(int bundle = 0);
+
+  // Single-path accessors (CHECK-fail when num_paths > 1).
+  Link* bottleneck_link();
+  MultipathLink* multipath();
+  size_t num_paths() const;
+  Link* path_link(size_t i);
+
+  FlowTable* flows() { return &flows_; }
+  Simulator* sim() { return sim_; }
+  const DumbbellConfig& config() const { return config_; }
+
+  // Entry point of the shared reverse path (ACKs + Bundler feedback). Tests
+  // interpose fault injectors here via Receivebox::set_reverse.
+  PacketHandler* reverse_path() { return reverse_link_.get(); }
+
+  // Bottleneck observation: queue delay over all packets, and per-bundle /
+  // cross-traffic rate meters (attached to every path).
+  QueueDelayMonitor* bottleneck_delay() { return bottleneck_delay_.get(); }
+  RateMeter* bundle_rate_meter(int bundle = 0) { return bundle_meters_[bundle].get(); }
+  RateMeter* cross_rate_meter() { return cross_meter_.get(); }
+
+  // Packet predicate for bundle `i`'s data packets.
+  static PacketPredicate BundleDataFilter(int bundle);
+
+  int64_t bottleneck_buffer_bytes() const { return buffer_bytes_; }
+
+ private:
+  void BuildForward();
+  void BuildReverse();
+
+  Simulator* sim_;
+  DumbbellConfig config_;
+  int64_t buffer_bytes_;
+
+  FlowTable flows_;
+
+  std::vector<std::unique_ptr<Host>> servers_;
+  std::vector<std::unique_ptr<Host>> clients_;
+  std::unique_ptr<Host> cross_server_;
+  std::unique_ptr<Host> cross_client_;
+
+  std::vector<std::unique_ptr<Sendbox>> sendboxes_;
+  std::vector<std::unique_ptr<Receivebox>> receiveboxes_;
+  std::vector<std::unique_ptr<Link>> edge_links_;
+  std::unique_ptr<Link> cross_edge_link_;
+
+  std::unique_ptr<Router> bottleneck_router_;
+  std::unique_ptr<Link> bottleneck_link_;
+  std::unique_ptr<MultipathLink> multipath_;
+  std::unique_ptr<Router> dst_router_;
+
+  std::unique_ptr<Link> reverse_link_;
+  std::unique_ptr<Router> reverse_router_;
+
+  std::unique_ptr<QueueDelayMonitor> bottleneck_delay_;
+  std::vector<std::unique_ptr<RateMeter>> bundle_meters_;
+  std::unique_ptr<RateMeter> cross_meter_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_TOPO_DUMBBELL_H_

@@ -1,0 +1,89 @@
+#include "src/topo/internet.h"
+
+#include <memory>
+
+#include "src/app/workload.h"
+#include "src/topo/dumbbell.h"
+#include "src/transport/udp_pingpong.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+std::vector<WanPathSpec> DefaultWanPaths() {
+  // Base RTTs approximate Iowa -> region over the public Internet. Rates are
+  // scaled down (paper: 2-4 Gbit/s) to keep simulated packet counts tractable;
+  // buffers follow provider rate-limiter depth (multiple BDP).
+  return {
+      {"us-west (Oregon)", TimeDelta::Millis(36), Rate::Mbps(200), 2.0},
+      {"us-east (S.Carolina)", TimeDelta::Millis(30), Rate::Mbps(200), 2.0},
+      {"eu-west (Belgium)", TimeDelta::Millis(96), Rate::Mbps(200), 2.0},
+      {"eu-central (Frankfurt)", TimeDelta::Millis(106), Rate::Mbps(200), 2.0},
+      {"asia-ne (Tokyo)", TimeDelta::Millis(132), Rate::Mbps(200), 2.0},
+  };
+}
+
+const char* WanModeName(WanMode mode) {
+  switch (mode) {
+    case WanMode::kBase:
+      return "Base";
+    case WanMode::kStatusQuo:
+      return "StatusQuo";
+    case WanMode::kBundler:
+      return "Bundler";
+  }
+  return "?";
+}
+
+WanRunResult RunWanPath(const WanPathSpec& spec, WanMode mode, TimeDelta duration,
+                        TimeDelta warmup, uint64_t seed, int pingpong_pairs,
+                        int bulk_flows) {
+  (void)seed;
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck_rate = spec.bottleneck_rate;
+  cfg.rtt = spec.base_rtt;
+  cfg.bottleneck_buffer_bdp = spec.buffer_bdp;
+  cfg.bundler_enabled = mode == WanMode::kBundler;
+  cfg.sendbox.scheduler = SchedulerType::kSfq;
+  cfg.sendbox.cc = BundleCcType::kCopa;
+  Dumbbell net(&sim, cfg);
+
+  // 10 closed-loop UDP request/response pairs; responses (server -> client)
+  // traverse the bundle direction.
+  std::vector<UdpPingPongClient*> pingers;
+  for (int i = 0; i < pingpong_pairs; ++i) {
+    UdpPingPongClient* c = StartUdpPingPong(net.flows(), net.client(), net.server());
+    c->SetRecordingWindow(TimePoint::Zero() + warmup, TimePoint::Zero() + duration);
+    pingers.push_back(c);
+  }
+
+  std::vector<TcpSender*> bulk;
+  if (mode != WanMode::kBase) {
+    bulk = StartBulkFlows(&sim, net.flows(), net.server(), net.client(), bulk_flows,
+                          HostCcType::kCubic, TimePoint::Zero());
+  }
+
+  sim.RunUntil(TimePoint::Zero() + duration);
+
+  QuantileEstimator rtts;
+  for (UdpPingPongClient* c : pingers) {
+    rtts.AddAll(c->rtt_ms().samples());
+  }
+  WanRunResult result;
+  result.path = spec.name;
+  result.mode = mode;
+  if (!rtts.empty()) {
+    result.rtt_ms_p10 = rtts.Quantile(0.10);
+    result.rtt_ms_p50 = rtts.Quantile(0.50);
+    result.rtt_ms_p90 = rtts.Quantile(0.90);
+    result.rtt_ms_p99 = rtts.Quantile(0.99);
+  }
+  double bulk_bytes = 0;
+  for (TcpSender* s : bulk) {
+    bulk_bytes += static_cast<double>(s->delivered_bytes());
+  }
+  result.bulk_goodput_mbps = bulk_bytes * 8.0 / duration.ToSeconds() * 1e-6;
+  return result;
+}
+
+}  // namespace bundler

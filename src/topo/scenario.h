@@ -1,0 +1,87 @@
+// Experiment glue shared by benches, examples, and integration tests: a
+// self-contained run (simulator + dumbbell + workloads + FCT recording) and
+// the unloaded-network ideal FCT cache that slowdown metrics divide by.
+#ifndef SRC_TOPO_SCENARIO_H_
+#define SRC_TOPO_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/app/workload.h"
+#include "src/metrics/fct.h"
+#include "src/topo/dumbbell.h"
+
+namespace bundler {
+
+// Ideal (unloaded network) FCT per request size, measured by simulating a
+// single flow on an idle copy of the network with the Bundler disabled.
+class IdealFctCache {
+ public:
+  IdealFctCache(Rate bottleneck_rate, TimeDelta rtt, HostCcType host_cc,
+                double buffer_bdp = 2.0);
+
+  TimeDelta Get(int64_t size_bytes);
+  IdealFctFn Fn();
+
+ private:
+  Rate rate_;
+  TimeDelta rtt_;
+  HostCcType cc_;
+  double buffer_bdp_;
+  std::map<int64_t, TimeDelta> cache_;
+};
+
+struct ExperimentConfig {
+  DumbbellConfig net;
+  TimeDelta duration = TimeDelta::Seconds(30);
+  TimeDelta warmup = TimeDelta::Seconds(5);  // requests starting earlier are excluded
+  uint64_t seed = 1;
+
+  HostCcType host_cc = HostCcType::kCubic;
+  double const_cwnd_pkts = 450.0;
+
+  // Per-bundle web offered load; resized/truncated to num_bundles. An empty
+  // vector means 84 Mbit/s on bundle 0 and zero elsewhere.
+  std::vector<Rate> bundle_web_load;
+  int bundle_bulk_flows = 0;  // backlogged flows inside every bundle
+
+  Rate cross_web_load = Rate::Zero();  // unbundled web-mix cross traffic
+  int cross_bulk_flows = 0;            // unbundled backlogged (buffer-filling)
+  HostCcType cross_cc = HostCcType::kCubic;
+};
+
+// Owns everything needed for one run.
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  void Run() { RunUntil(config_.duration); }
+  void RunUntil(TimeDelta t) { sim_.RunUntil(TimePoint::Zero() + t); }
+
+  Simulator* sim() { return &sim_; }
+  Dumbbell* net() { return net_.get(); }
+  FctRecorder* fct(int bundle = 0) { return fcts_[bundle].get(); }
+  FctRecorder* cross_fct() { return cross_fct_.get(); }
+  const ExperimentConfig& config() const { return config_; }
+  std::vector<TcpSender*>& bundle_bulk_senders(int bundle = 0) {
+    return bulk_senders_[bundle];
+  }
+
+  // Filter matching the measurement interval (post-warmup requests).
+  RequestFilter MeasuredRequests() const;
+
+ private:
+  ExperimentConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Dumbbell> net_;
+  std::vector<std::unique_ptr<FctRecorder>> fcts_;
+  std::unique_ptr<FctRecorder> cross_fct_;
+  std::vector<std::unique_ptr<PoissonWebWorkload>> workloads_;
+  std::unique_ptr<PoissonWebWorkload> cross_workload_;
+  std::vector<std::vector<TcpSender*>> bulk_senders_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_TOPO_SCENARIO_H_

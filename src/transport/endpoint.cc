@@ -1,0 +1,47 @@
+#include "src/transport/endpoint.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+Host::Host(Simulator* sim, Address addr, PacketHandler* egress)
+    : sim_(sim), addr_(addr), egress_(egress) {
+  BUNDLER_CHECK(sim_ != nullptr);
+}
+
+void Host::HandlePacket(Packet pkt) {
+  auto it = flows_.find(pkt.flow_id);
+  if (it == flows_.end()) {
+    // Flow already torn down (e.g. duplicate data after completion) or not
+    // yet created; drop silently like a closed socket would.
+    ++unclaimed_;
+    return;
+  }
+  it->second->HandlePacket(std::move(pkt));
+}
+
+void Host::SendOut(Packet pkt) {
+  pkt.ip_id = next_ip_id_++;
+  BUNDLER_CHECK(egress_ != nullptr);
+  egress_->HandlePacket(std::move(pkt));
+}
+
+void Host::Register(uint64_t flow_id, PacketHandler* handler) {
+  BUNDLER_CHECK(handler != nullptr);
+  flows_[flow_id] = handler;
+}
+
+void Host::Unregister(uint64_t flow_id) { flows_.erase(flow_id); }
+
+uint16_t Host::AllocPort() {
+  uint16_t port = next_port_;
+  ++next_port_;
+  if (next_port_ == 0) {
+    next_port_ = 1024;  // wrap past the reserved range
+  }
+  return port;
+}
+
+}  // namespace bundler

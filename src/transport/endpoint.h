@@ -1,0 +1,70 @@
+// End-host model. A `Host` demultiplexes incoming packets to per-flow
+// handlers and stamps outgoing packets (IP ID counter, ports). A `FlowTable`
+// owns the transport objects of every flow created during a scenario and
+// allocates flow ids.
+#ifndef SRC_TRANSPORT_ENDPOINT_H_
+#define SRC_TRANSPORT_ENDPOINT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/node.h"
+#include "src/sim/simulator.h"
+
+namespace bundler {
+
+class Host : public PacketHandler {
+ public:
+  Host(Simulator* sim, Address addr, PacketHandler* egress);
+
+  // Incoming packets from the network: demux on flow id.
+  void HandlePacket(Packet pkt) override;
+
+  // Outgoing path: stamps the IPv4 ID (per-host counter, so retransmissions
+  // get fresh IDs) and hands the packet to the site network.
+  void SendOut(Packet pkt);
+
+  void Register(uint64_t flow_id, PacketHandler* handler);
+  void Unregister(uint64_t flow_id);
+
+  uint16_t AllocPort();
+
+  Simulator* sim() { return sim_; }
+  Address address() const { return addr_; }
+  uint64_t unclaimed_packets() const { return unclaimed_; }
+  void set_egress(PacketHandler* egress) { egress_ = egress; }
+
+ private:
+  Simulator* sim_;
+  Address addr_;
+  PacketHandler* egress_;
+  std::unordered_map<uint64_t, PacketHandler*> flows_;
+  uint16_t next_port_ = 1024;
+  uint16_t next_ip_id_ = 1;
+  uint64_t unclaimed_ = 0;
+};
+
+// Owns transport objects for the lifetime of a scenario and allocates ids.
+class FlowTable {
+ public:
+  uint64_t AllocFlowId() { return next_flow_id_++; }
+
+  template <typename T, typename... Args>
+  T* Emplace(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    objects_.push_back(std::move(owned));
+    return raw;
+  }
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  uint64_t next_flow_id_ = 1;
+  std::vector<std::unique_ptr<PacketHandler>> objects_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_TRANSPORT_ENDPOINT_H_

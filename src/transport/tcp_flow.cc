@@ -1,0 +1,455 @@
+#include "src/transport/tcp_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+TcpReceiver::TcpReceiver(Host* host, uint64_t flow_id,
+                         std::function<void(TimePoint)> on_complete)
+    : host_(host), flow_id_(flow_id), on_complete_(std::move(on_complete)) {
+  host_->Register(flow_id_, this);
+}
+
+void TcpReceiver::HandlePacket(Packet pkt) {
+  if (pkt.type != PacketType::kData) {
+    return;
+  }
+  TimePoint now = host_->sim()->now();
+  if (pkt.seq == cum_expected_) {
+    bytes_received_ += pkt.size_bytes;
+    ++cum_expected_;
+    // Drain any contiguous out-of-order segments.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == cum_expected_) {
+      ++cum_expected_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (pkt.seq > cum_expected_) {
+    auto inserted = out_of_order_.insert(pkt.seq);
+    if (inserted.second) {
+      bytes_received_ += pkt.size_bytes;
+    }
+  }
+  // else: duplicate below the cumulative point; still ACK it.
+
+  Packet ack = MakeAckPacket(pkt, /*ack_src=*/pkt.key.dst, /*ack_dst=*/pkt.key.src);
+  ack.seq = cum_expected_;
+  ack.request_id = pkt.request_id;
+  host_->SendOut(std::move(ack));
+
+  if (!complete_ && pkt.flow_total_pkts > 0 && cum_expected_ >= pkt.flow_total_pkts) {
+    complete_ = true;
+    if (on_complete_) {
+      on_complete_(now);
+    }
+  }
+}
+
+TcpSender::TcpSender(Host* host, uint64_t flow_id, FlowKey key, const TcpFlowParams& params)
+    : host_(host),
+      flow_id_(flow_id),
+      key_(key),
+      params_(params),
+      cc_(MakeHostCc(params.cc, params.const_cwnd_pkts)) {
+  if (params_.size_bytes < 0) {
+    total_pkts_ = 0;
+    last_payload_bytes_ = kMssBytes;
+  } else {
+    total_pkts_ = (params_.size_bytes + kMssBytes - 1) / kMssBytes;
+    total_pkts_ = std::max<int64_t>(total_pkts_, 1);
+    int64_t rem = params_.size_bytes % kMssBytes;
+    last_payload_bytes_ = rem == 0 ? kMssBytes : rem;
+  }
+  host_->Register(flow_id_, this);
+}
+
+void TcpSender::Start() {
+  BUNDLER_CHECK(!started_);
+  started_ = true;
+  TrySend();
+}
+
+double TcpSender::InflightPkts() const {
+  // RFC 6675 "pipe": sent minus delivered (SACKed) minus presumed-lost holes
+  // that have not been retransmitted. Retransmitted holes count once (their
+  // retransmission is in flight), which the formula covers by construction.
+  int64_t pipe = (next_seq_ - cum_acked_) - static_cast<int64_t>(sacked_.size()) -
+                 static_cast<int64_t>(lost_pending_.size());
+  return static_cast<double>(std::max<int64_t>(0, pipe));
+}
+
+int64_t TcpSender::PayloadSize(int64_t seq) const {
+  if (total_pkts_ > 0 && seq == total_pkts_ - 1) {
+    return last_payload_bytes_;
+  }
+  return kMssBytes;
+}
+
+uint32_t TcpSender::WireSize(int64_t seq) const {
+  return static_cast<uint32_t>(PayloadSize(seq)) + kHeaderBytes;
+}
+
+void TcpSender::SendSegment(int64_t seq, bool retransmit) {
+  Packet pkt = MakeDataPacket(flow_id_, key_, seq, WireSize(seq));
+  pkt.flow_total_pkts = total_pkts_;
+  pkt.retransmit = retransmit;
+  pkt.tx_time = host_->sim()->now();
+  pkt.delivered_at_tx = delivered_bytes_;
+  pkt.request_id = params_.request_id;
+  pkt.priority = params_.priority;
+  if (retransmit) {
+    ++retransmits_;
+  }
+  if (in_recovery_ && !rto_recovery_) {
+    prr_out_ += 1;
+    --prr_budget_;
+  }
+  host_->SendOut(std::move(pkt));
+  EnsureRtoArmed();
+}
+
+void TcpSender::TrySend() {
+  if (complete_) {
+    return;
+  }
+  TimePoint now = host_->sim()->now();
+  Rate pacing = cc_->PacingRate();
+  while ((total_pkts_ == 0 || next_seq_ < total_pkts_) && InflightPkts() < cc_->CwndPkts() &&
+         !PrrGated()) {
+    if (!pacing.IsZero()) {
+      if (now < next_pacing_send_) {
+        if (pacing_timer_ == kInvalidEventId) {
+          pacing_timer_ = host_->sim()->ScheduleAt(next_pacing_send_, [this]() {
+            pacing_timer_ = kInvalidEventId;
+            TrySend();
+          });
+        }
+        return;
+      }
+      next_pacing_send_ =
+          std::max(next_pacing_send_, now) + pacing.TransmitTime(WireSize(next_seq_));
+    }
+    SendSegment(next_seq_, /*retransmit=*/false);
+    ++next_seq_;
+  }
+}
+
+void TcpSender::UpdateRtt(TimeDelta sample) {
+  if (srtt_.IsZero()) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    return;
+  }
+  TimeDelta err = TimeDelta::Nanos(std::abs((sample - srtt_).nanos()));
+  rttvar_ = TimeDelta::Nanos((3 * rttvar_.nanos() + err.nanos()) / 4);
+  srtt_ = TimeDelta::Nanos((7 * srtt_.nanos() + sample.nanos()) / 8);
+}
+
+TimeDelta TcpSender::CurrentRto() const {
+  TimeDelta base = srtt_.IsZero() ? TimeDelta::Seconds(1) : srtt_ + rttvar_ * 4.0;
+  base = std::max(base, kMinRto);
+  for (int i = 0; i < rto_backoff_; ++i) {
+    base = base * 2.0;
+    if (base >= kMaxRto) {
+      return kMaxRto;
+    }
+  }
+  return std::min(base, kMaxRto);
+}
+
+void TcpSender::RestartRto() {
+  rto_deadline_ = host_->sim()->now() + CurrentRto();
+  if (rto_timer_ == kInvalidEventId) {
+    rto_timer_ = host_->sim()->ScheduleAt(rto_deadline_, [this]() { OnRtoTimer(); });
+  }
+  ArmPto();
+}
+
+void TcpSender::EnsureRtoArmed() {
+  // Do not slide an existing deadline forward: the timer guards the oldest
+  // outstanding segment, and refreshing it on every transmission would let a
+  // steadily sending flow starve a stuck retransmission forever.
+  if (rto_timer_ == kInvalidEventId) {
+    RestartRto();
+    return;
+  }
+  ArmPto();
+}
+
+void TcpSender::ArmPto() {
+  if (complete_ || probe_outstanding_) {
+    return;
+  }
+  TimeDelta delay = srtt_.IsZero() ? TimeDelta::Millis(100)
+                                   : std::max(srtt_ * 2.0, TimeDelta::Millis(10));
+  TimePoint deadline = host_->sim()->now() + delay;
+  if (deadline >= rto_deadline_) {
+    return;  // the RTO will fire first anyway
+  }
+  pto_deadline_ = deadline;
+  if (pto_timer_ == kInvalidEventId) {
+    pto_timer_ = host_->sim()->ScheduleAt(pto_deadline_, [this]() { OnPtoTimer(); });
+  }
+}
+
+void TcpSender::OnPtoTimer() {
+  pto_timer_ = kInvalidEventId;
+  if (complete_) {
+    return;
+  }
+  TimePoint now = host_->sim()->now();
+  if (now < pto_deadline_) {
+    pto_timer_ = host_->sim()->ScheduleAt(pto_deadline_, [this]() { OnPtoTimer(); });
+    return;
+  }
+  if (probe_outstanding_ || InflightPkts() <= 0) {
+    return;
+  }
+  // Probe with the highest outstanding unSACKed segment.
+  int64_t probe = next_seq_ - 1;
+  while (probe >= cum_acked_ && sacked_.contains(probe)) {
+    --probe;
+  }
+  if (probe < cum_acked_) {
+    return;
+  }
+  probe_outstanding_ = true;
+  SendSegment(probe, /*retransmit=*/true);
+}
+
+void TcpSender::OnRtoTimer() {
+  rto_timer_ = kInvalidEventId;
+  if (complete_) {
+    return;
+  }
+  TimePoint now = host_->sim()->now();
+  if (now < rto_deadline_) {
+    // The deadline moved forward since this timer was armed; re-arm lazily.
+    rto_timer_ = host_->sim()->ScheduleAt(rto_deadline_, [this]() { OnRtoTimer(); });
+    return;
+  }
+  if (InflightPkts() <= 0 && (total_pkts_ != 0 && cum_acked_ >= total_pkts_)) {
+    return;  // nothing outstanding
+  }
+  ++timeouts_;
+  ++rto_backoff_;
+  probe_outstanding_ = false;
+  cc_->OnLoss(LossSample{now, /*is_timeout=*/true, InflightPkts()});
+  // Keep the SACK scoreboard (no reneging) so recovery can retransmit every
+  // known hole as the slow-start window regrows, instead of go-back-N.
+  // Earlier retransmissions are presumed lost too: put them back in the
+  // pending pool so they get another chance.
+  in_recovery_ = true;
+  rto_recovery_ = true;
+  recovery_point_ = next_seq_;
+  for (const auto& [hole, marker] : retx_outstanding_) {
+    lost_pending_.insert(hole);
+  }
+  retx_outstanding_.clear();
+  dupacks_ = 0;
+  if (total_pkts_ == 0 || cum_acked_ < total_pkts_) {
+    lost_pending_.erase(cum_acked_);
+    retx_outstanding_[cum_acked_] = next_seq_;
+    SendSegment(cum_acked_, /*retransmit=*/true);
+  }
+  RestartRto();
+}
+
+void TcpSender::EnterRecovery(TimePoint now) {
+  in_recovery_ = true;
+  rto_recovery_ = false;
+  recovery_point_ = next_seq_;
+  retx_outstanding_.clear();
+  prr_recoverfs_ = std::max(1.0, InflightPkts());
+  prr_delivered_ = 0;
+  prr_out_ = 0;
+  prr_budget_ = 1;  // always allow the fast retransmit itself
+  cc_->OnLoss(LossSample{now, /*is_timeout=*/false, InflightPkts()});
+}
+
+bool TcpSender::PrrGated() const {
+  return in_recovery_ && !rto_recovery_ && prr_budget_ <= 0;
+}
+
+void TcpSender::RefreshPrrBudget() {
+  if (!in_recovery_ || rto_recovery_) {
+    return;
+  }
+  double ssthresh = cc_->CwndPkts();  // post-reduction window
+  double pipe = InflightPkts();
+  double sndcnt;
+  if (pipe > ssthresh) {
+    // Rate-reduction phase: send beta packets per delivered packet.
+    sndcnt = std::ceil(prr_delivered_ * ssthresh / prr_recoverfs_) - prr_out_;
+  } else {
+    // Slow-start reduction bound: rebuild the pipe up to ssthresh.
+    sndcnt = std::min(std::max(prr_delivered_ - prr_out_, 1.0), ssthresh - pipe + 1.0);
+  }
+  prr_budget_ = static_cast<int>(std::max(0.0, sndcnt));
+}
+
+void TcpSender::MaybeRetransmitHoles() {
+  double pipe = InflightPkts();
+  const double cwnd = cc_->CwndPkts();
+  while (pipe < cwnd && !lost_pending_.empty() && !PrrGated()) {
+    int64_t hole = *lost_pending_.begin();
+    lost_pending_.erase(lost_pending_.begin());
+    retx_outstanding_[hole] = next_seq_;
+    SendSegment(hole, /*retransmit=*/true);
+    pipe += 1.0;  // the hole left lost_pending_, so the pipe grew by one
+  }
+}
+
+void TcpSender::HandlePacket(Packet pkt) {
+  if (pkt.type != PacketType::kAck || complete_) {
+    return;
+  }
+  OnAck(pkt);
+}
+
+void TcpSender::OnAck(const Packet& ack) {
+  TimePoint now = host_->sim()->now();
+  if (ack.seq > cum_acked_) {
+    int64_t newly_acked = ack.seq - cum_acked_;
+    // Count bytes for everything newly covered by the cumulative point.
+    for (int64_t s = cum_acked_; s < ack.seq; ++s) {
+      delivered_bytes_ += PayloadSize(s);
+    }
+    cum_acked_ = ack.seq;
+    while (!sacked_.empty() && *sacked_.begin() < cum_acked_) {
+      sacked_.erase(sacked_.begin());
+    }
+    while (!retx_outstanding_.empty() && retx_outstanding_.begin()->first < cum_acked_) {
+      retx_outstanding_.erase(retx_outstanding_.begin());
+    }
+    while (!lost_pending_.empty() && *lost_pending_.begin() < cum_acked_) {
+      lost_pending_.erase(lost_pending_.begin());
+    }
+    dupacks_ = 0;
+    rto_backoff_ = 0;
+    probe_outstanding_ = false;
+    if (in_recovery_ && !rto_recovery_) {
+      prr_delivered_ += static_cast<double>(newly_acked);
+    }
+
+    AckSample sample;
+    sample.now = now;
+    sample.acked_pkts = static_cast<int>(newly_acked);
+    if (!ack.echo_retransmit && !ack.echo_tx_time.IsInfinite()) {
+      sample.rtt = now - ack.echo_tx_time;
+      sample.rtt_valid = sample.rtt > TimeDelta::Zero();
+      if (sample.rtt_valid) {
+        UpdateRtt(sample.rtt);
+        // Delivery rate over the packet's flight (BBR-style sampling).
+        int64_t delivered_delta = delivered_bytes_ - ack.echo_delivered_at_tx;
+        if (delivered_delta > 0) {
+          sample.delivery_rate = Rate::FromBytesAndTime(delivered_delta, sample.rtt);
+        }
+      }
+    }
+    sample.inflight_pkts = InflightPkts();
+
+    if (in_recovery_) {
+      if (cum_acked_ >= recovery_point_) {
+        in_recovery_ = false;
+        rto_recovery_ = false;
+        retx_outstanding_.clear();
+        lost_pending_.clear();
+      }
+    }
+    sample.in_fast_recovery = in_recovery_ && !rto_recovery_;
+    cc_->OnAck(sample);
+    if (in_recovery_) {
+      // Partial ACK: retransmit every remaining known hole the window allows.
+      RefreshPrrBudget();
+      MaybeRetransmitHoles();
+    }
+    RestartRto();
+
+    if (total_pkts_ > 0 && cum_acked_ >= total_pkts_) {
+      complete_ = true;
+      if (rto_timer_ != kInvalidEventId) {
+        host_->sim()->Cancel(rto_timer_);
+        rto_timer_ = kInvalidEventId;
+      }
+      if (pto_timer_ != kInvalidEventId) {
+        host_->sim()->Cancel(pto_timer_);
+        pto_timer_ = kInvalidEventId;
+      }
+      if (pacing_timer_ != kInvalidEventId) {
+        host_->sim()->Cancel(pacing_timer_);
+        pacing_timer_ = kInvalidEventId;
+      }
+      return;
+    }
+  } else if (ack.seq == cum_acked_) {
+    // Duplicate ACK; record the SACK hint carried by the echo and reveal any
+    // holes it implies (every non-SACKed seq below the highest SACK is
+    // presumed lost).
+    int64_t s = ack.acked_data_seq;
+    if (s > cum_acked_ && !sacked_.contains(s)) {
+      int64_t reveal_from = sacked_.empty() ? cum_acked_ : *sacked_.rbegin() + 1;
+      if (s >= reveal_from) {
+        for (int64_t q = reveal_from; q < s; ++q) {
+          if (!retx_outstanding_.contains(q)) {
+            lost_pending_.insert(lost_pending_.end(), q);
+          }
+        }
+        sacked_.insert(sacked_.end(), s);
+        // Lost-retransmission detection: this SACK is for an original
+        // transmission; any hole retransmitted well before `s` was sent and
+        // still unacked must have had its retransmission dropped.
+        for (auto it = retx_outstanding_.begin(); it != retx_outstanding_.end();) {
+          if (it->second + 3 <= s) {
+            lost_pending_.insert(it->first);
+            it = retx_outstanding_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      } else {
+        // The SACK fills a previously revealed hole.
+        sacked_.insert(s);
+        lost_pending_.erase(s);
+        retx_outstanding_.erase(s);
+      }
+      if (in_recovery_ && !rto_recovery_) {
+        prr_delivered_ += 1;
+      }
+    }
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ >= 3) {
+      EnterRecovery(now);
+    }
+    if (in_recovery_) {
+      if (dupacks_ != 0) {  // budget already set by EnterRecovery on this ack
+        RefreshPrrBudget();
+      }
+      MaybeRetransmitHoles();
+    }
+  }
+  TrySend();
+}
+
+TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
+                        std::function<void(TimePoint)> on_receiver_complete) {
+  uint64_t flow_id = table->AllocFlowId();
+  FlowKey key;
+  key.src = src->address();
+  key.dst = dst->address();
+  // Server-to-client data: fixed well-known service port on the sender side,
+  // ephemeral port on the receiver side (as a real accepted connection).
+  key.src_port = 80;
+  key.dst_port = dst->AllocPort();
+  key.protocol = 6;
+  table->Emplace<TcpReceiver>(dst, flow_id, std::move(on_receiver_complete));
+  TcpSender* sender = table->Emplace<TcpSender>(src, flow_id, key, params);
+  sender->Start();
+  return sender;
+}
+
+}  // namespace bundler

@@ -1,0 +1,163 @@
+// TCP-like reliable transport at packet granularity: slow start / congestion
+// avoidance driven by a pluggable HostCc, duplicate-ACK fast retransmit with
+// a SACK-style scoreboard, retransmission timeouts with exponential backoff,
+// and optional pacing (BBR). End hosts run this unmodified whether or not a
+// Bundler is on the path — exactly the paper's deployment model.
+#ifndef SRC_TRANSPORT_TCP_FLOW_H_
+#define SRC_TRANSPORT_TCP_FLOW_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/cc/cc.h"
+#include "src/net/node.h"
+#include "src/transport/endpoint.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+struct TcpFlowParams {
+  int64_t size_bytes = 0;  // < 0 means backlogged (never completes)
+  HostCcType cc = HostCcType::kCubic;
+  double const_cwnd_pkts = 450.0;
+  uint64_t request_id = 0;
+  uint8_t priority = 0;
+  TimePoint request_start;  // when the application issued the request
+};
+
+// Receiver half: cumulative ACKing (one ACK per data packet, Linux quickack
+// style), out-of-order buffering, completion detection.
+class TcpReceiver : public PacketHandler {
+ public:
+  // `on_complete(now)` fires once, when the last byte arrives.
+  TcpReceiver(Host* host, uint64_t flow_id, std::function<void(TimePoint)> on_complete);
+
+  void HandlePacket(Packet pkt) override;
+
+  int64_t cum_expected() const { return cum_expected_; }
+  int64_t bytes_received() const { return bytes_received_; }
+  bool complete() const { return complete_; }
+
+ private:
+  Host* host_;
+  uint64_t flow_id_;
+  std::function<void(TimePoint)> on_complete_;
+  int64_t cum_expected_ = 0;
+  std::set<int64_t> out_of_order_;
+  int64_t bytes_received_ = 0;
+  bool complete_ = false;
+};
+
+// Sender half.
+class TcpSender : public PacketHandler {
+ public:
+  TcpSender(Host* host, uint64_t flow_id, FlowKey key, const TcpFlowParams& params);
+
+  // Begin transmitting (schedules the first send immediately).
+  void Start();
+
+  // ACKs from the receiver arrive here.
+  void HandlePacket(Packet pkt) override;
+
+  bool complete() const { return complete_; }
+  double cwnd_pkts() const { return cc_->CwndPkts(); }
+  double InflightPkts() const;
+  int64_t total_pkts() const { return total_pkts_; }
+  int64_t delivered_bytes() const { return delivered_bytes_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t timeouts() const { return timeouts_; }
+  TimeDelta srtt() const { return srtt_; }
+
+ private:
+  static constexpr auto kMinRto = TimeDelta::Millis(200);
+  static constexpr auto kMaxRto = TimeDelta::Seconds(60);
+
+  void TrySend();
+  void SendSegment(int64_t seq, bool retransmit);
+  uint32_t WireSize(int64_t seq) const;
+  int64_t PayloadSize(int64_t seq) const;
+  void OnAck(const Packet& ack);
+  void EnterRecovery(TimePoint now);
+  bool PrrGated() const;     // true when fast recovery + budget exhausted
+  void RefreshPrrBudget();   // recompute the per-ACK send allowance
+  // SACK scoreboard recovery (RFC 6675 style): retransmits every presumed-lost
+  // hole the congestion window allows, not just the first one.
+  void MaybeRetransmitHoles();
+  void OnRtoTimer();
+  // RFC 6298 semantics: the timer tracks the *oldest* outstanding segment.
+  // RestartRto moves the deadline (on ACKs of new data and on timeout
+  // backoff); EnsureRtoArmed only starts it if idle (on transmissions).
+  void RestartRto();
+  void EnsureRtoArmed();
+  // Tail loss probe (RFC 8985-style): if no ACK arrives for ~2 SRTT while
+  // data is outstanding, retransmit the highest unSACKed segment to elicit
+  // feedback instead of waiting out a full RTO.
+  void ArmPto();
+  void OnPtoTimer();
+  void UpdateRtt(TimeDelta sample);
+  TimeDelta CurrentRto() const;
+
+  Host* host_;
+  uint64_t flow_id_;
+  FlowKey key_;
+  TcpFlowParams params_;
+  std::unique_ptr<HostCc> cc_;
+
+  int64_t total_pkts_;  // 0 when backlogged
+  int64_t last_payload_bytes_;
+
+  int64_t next_seq_ = 0;
+  int64_t cum_acked_ = 0;
+  // SACK scoreboard. Every seq in [cum_acked_, next_seq_) is in exactly one
+  // conceptual state: delivered (sacked_), presumed lost awaiting retransmit
+  // (lost_pending_), retransmitted and in flight (retx_outstanding_), or
+  // untouched in flight. Seqs below the highest SACK that are not SACKed are
+  // presumed lost; the sets are maintained incrementally so pipe accounting
+  // and hole retransmission are O(log) per event, not O(window).
+  std::set<int64_t> sacked_;
+  std::set<int64_t> lost_pending_;
+  // hole -> next_seq_ at retransmission time. A SACK for an original seq sent
+  // comfortably after the retransmission proves the retransmission was lost
+  // (Linux lost-retransmit detection), returning the hole to lost_pending_.
+  std::map<int64_t, int64_t> retx_outstanding_;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  bool rto_recovery_ = false;  // recovery entered via timeout (slow-start regrowth)
+  int64_t recovery_point_ = 0;
+  // Proportional Rate Reduction (RFC 6937): during fast recovery, bound
+  // transmissions to ~beta x the delivery rate so a large window under heavy
+  // loss backs off instead of pumping ~2x the bottleneck via pipe turnover.
+  double prr_delivered_ = 0;
+  double prr_out_ = 0;
+  double prr_recoverfs_ = 1;
+  int prr_budget_ = 0;
+
+  int64_t delivered_bytes_ = 0;
+  TimeDelta srtt_ = TimeDelta::Zero();
+  TimeDelta rttvar_ = TimeDelta::Zero();
+  int rto_backoff_ = 0;
+  TimePoint rto_deadline_;
+  EventId rto_timer_ = kInvalidEventId;
+  TimePoint pto_deadline_;
+  EventId pto_timer_ = kInvalidEventId;
+  bool probe_outstanding_ = false;  // one TLP per quiet period
+
+  TimePoint next_pacing_send_;
+  EventId pacing_timer_ = kInvalidEventId;
+
+  bool started_ = false;
+  bool complete_ = false;
+  uint64_t retransmits_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+// Wires up a sender on `src` and receiver on `dst` and starts the flow.
+// `on_receiver_complete` may be null (e.g. backlogged flows).
+TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
+                        std::function<void(TimePoint)> on_receiver_complete);
+
+}  // namespace bundler
+
+#endif  // SRC_TRANSPORT_TCP_FLOW_H_

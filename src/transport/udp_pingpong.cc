@@ -1,0 +1,97 @@
+#include "src/transport/udp_pingpong.h"
+
+#include <utility>
+
+namespace bundler {
+
+UdpEchoServer::UdpEchoServer(Host* host, uint64_t flow_id) : host_(host) {
+  host_->Register(flow_id, this);
+}
+
+void UdpEchoServer::HandlePacket(Packet pkt) {
+  if (pkt.type != PacketType::kData) {
+    return;
+  }
+  Packet resp;
+  resp.flow_id = pkt.flow_id;
+  resp.type = PacketType::kData;
+  resp.size_bytes = kPingPongBytes;
+  resp.key.src = pkt.key.dst;
+  resp.key.dst = pkt.key.src;
+  resp.key.src_port = pkt.key.dst_port;
+  resp.key.dst_port = pkt.key.src_port;
+  resp.key.protocol = 17;
+  resp.seq = pkt.seq;
+  resp.echo_tx_time = pkt.tx_time;  // carry the client's send timestamp back
+  host_->SendOut(std::move(resp));
+}
+
+UdpPingPongClient::UdpPingPongClient(Host* host, uint64_t flow_id, FlowKey key)
+    : host_(host), flow_id_(flow_id), key_(key) {
+  host_->Register(flow_id_, this);
+}
+
+void UdpPingPongClient::Start() { SendRequest(); }
+
+void UdpPingPongClient::SetRecordingWindow(TimePoint from, TimePoint to) {
+  record_from_ = from;
+  record_to_ = to;
+}
+
+void UdpPingPongClient::SendRequest() {
+  Packet req;
+  req.flow_id = flow_id_;
+  req.type = PacketType::kData;
+  req.size_bytes = kPingPongBytes;
+  req.key = key_;
+  req.seq = next_seq_;
+  req.tx_time = host_->sim()->now();
+  host_->SendOut(std::move(req));
+  int64_t seq = next_seq_;
+  timeout_timer_ =
+      host_->sim()->Schedule(kResponseTimeout, [this, seq]() { OnTimeout(seq); });
+}
+
+void UdpPingPongClient::OnTimeout(int64_t seq) {
+  timeout_timer_ = kInvalidEventId;
+  if (seq != next_seq_) {
+    return;  // the exchange completed while this timer was in flight
+  }
+  ++timeouts_;
+  ++next_seq_;
+  SendRequest();
+}
+
+void UdpPingPongClient::HandlePacket(Packet pkt) {
+  if (pkt.type != PacketType::kData || pkt.seq != next_seq_) {
+    return;  // stale response from a timed-out exchange
+  }
+  if (timeout_timer_ != kInvalidEventId) {
+    host_->sim()->Cancel(timeout_timer_);
+    timeout_timer_ = kInvalidEventId;
+  }
+  TimePoint now = host_->sim()->now();
+  TimeDelta rtt = now - pkt.echo_tx_time;
+  if (now >= record_from_ && now < record_to_) {
+    rtt_ms_.Add(rtt.ToMillis());
+  }
+  ++completed_;
+  ++next_seq_;
+  SendRequest();
+}
+
+UdpPingPongClient* StartUdpPingPong(FlowTable* table, Host* client_host, Host* server_host) {
+  uint64_t flow_id = table->AllocFlowId();
+  FlowKey key;
+  key.src = client_host->address();
+  key.dst = server_host->address();
+  key.src_port = client_host->AllocPort();
+  key.dst_port = server_host->AllocPort();
+  key.protocol = 17;
+  table->Emplace<UdpEchoServer>(server_host, flow_id);
+  auto* client = table->Emplace<UdpPingPongClient>(client_host, flow_id, key);
+  client->Start();
+  return client;
+}
+
+}  // namespace bundler

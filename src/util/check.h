@@ -1,0 +1,29 @@
+// Lightweight assertion macros used throughout the library. `BUNDLER_CHECK`
+// is always on (including release builds): the simulator's correctness
+// depends on these invariants, and the cost is negligible relative to event
+// dispatch.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BUNDLER_CHECK(cond)                                                              \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond);    \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#define BUNDLER_CHECK_MSG(cond, ...)                                                     \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__, __LINE__, #cond);    \
+      std::fprintf(stderr, __VA_ARGS__);                                                 \
+      std::fprintf(stderr, "\n");                                                        \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#endif  // SRC_UTIL_CHECK_H_

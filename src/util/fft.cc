@@ -1,0 +1,51 @@
+#include "src/util/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+void Fft(std::vector<std::complex<double>>& data) {
+  const size_t n = data.size();
+  BUNDLER_CHECK(IsPowerOfTwo(n));
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = data[i + k];
+        std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> RealFftMagnitudes(const std::vector<double>& signal) {
+  BUNDLER_CHECK(IsPowerOfTwo(signal.size()));
+  std::vector<std::complex<double>> data(signal.begin(), signal.end());
+  Fft(data);
+  std::vector<double> mags(signal.size() / 2);
+  for (size_t i = 0; i < mags.size(); ++i) {
+    mags[i] = std::abs(data[i]);
+  }
+  return mags;
+}
+
+}  // namespace bundler

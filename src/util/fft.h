@@ -1,0 +1,25 @@
+// Minimal iterative radix-2 FFT. The Nimbus cross-traffic detector (§5.1)
+// inspects the frequency content of the cross-traffic rate estimate to decide
+// whether competing traffic is elastic; this is the only FFT consumer.
+#ifndef SRC_UTIL_FFT_H_
+#define SRC_UTIL_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace bundler {
+
+// In-place FFT; `data.size()` must be a power of two.
+void Fft(std::vector<std::complex<double>>& data);
+
+// Magnitudes of the positive-frequency bins of the FFT of a real signal.
+// Returns size/2 magnitudes; bin k corresponds to frequency k * sample_rate /
+// size. Bin 0 (DC) is included. `signal.size()` must be a power of two.
+std::vector<double> RealFftMagnitudes(const std::vector<double>& signal);
+
+constexpr bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_FFT_H_

@@ -1,0 +1,24 @@
+#include "src/util/random.h"
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  BUNDLER_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace bundler

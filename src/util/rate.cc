@@ -1,0 +1,21 @@
+#include "src/util/rate.h"
+
+#include <cstdio>
+
+namespace bundler {
+
+std::string Rate::ToString() const {
+  char buf[64];
+  if (bps_ >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fGbit/s", bps_ * 1e-9);
+  } else if (bps_ >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fMbit/s", bps_ * 1e-6);
+  } else if (bps_ >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fKbit/s", bps_ * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fbit/s", bps_);
+  }
+  return buf;
+}
+
+}  // namespace bundler

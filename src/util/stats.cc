@@ -1,0 +1,98 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::Stddev() const { return std::sqrt(Variance()); }
+
+void QuantileEstimator::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void QuantileEstimator::AddAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void QuantileEstimator::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileEstimator::Quantile(double q) const {
+  BUNDLER_CHECK(!samples_.empty());
+  BUNDLER_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double QuantileEstimator::Mean() const {
+  BUNDLER_CHECK(!samples_.empty());
+  double sum = 0.0;
+  for (double x : samples_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double QuantileEstimator::Min() const {
+  BUNDLER_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+double QuantileEstimator::Max() const {
+  BUNDLER_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double QuantileEstimator::FractionWithinAbs(double bound) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  size_t within = 0;
+  for (double x : samples_) {
+    if (std::abs(x) <= bound) {
+      ++within;
+    }
+  }
+  return static_cast<double>(within) / static_cast<double>(samples_.size());
+}
+
+}  // namespace bundler

@@ -1,0 +1,64 @@
+// Statistics helpers: streaming moments (Welford) and exact quantiles over
+// retained samples. Experiment scales in this repo keep sample counts small
+// enough (<= a few million doubles) that exact quantiles are affordable and
+// avoid estimator error in reproduced numbers.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bundler {
+
+// Streaming count/mean/variance/min/max without retaining samples.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Variance() const;
+  double Stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains samples and answers exact quantile queries. Sorting is deferred and
+// cached until the next insertion.
+class QuantileEstimator {
+ public:
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // Fraction of samples with |x| <= bound (used by the Fig. 5/6 estimate
+  // accuracy microbenchmarks).
+  double FractionWithinAbs(double bound) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_STATS_H_

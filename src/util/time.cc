@@ -1,0 +1,34 @@
+#include "src/util/time.h"
+
+#include <cstdio>
+
+namespace bundler {
+
+std::string TimeDelta::ToString() const {
+  char buf[64];
+  if (IsInfinite()) {
+    return "+inf";
+  }
+  double abs_ns = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicros());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[64];
+  if (IsInfinite()) {
+    return "+inf";
+  }
+  std::snprintf(buf, sizeof(buf), "%.6fs", ToSeconds());
+  return buf;
+}
+
+}  // namespace bundler

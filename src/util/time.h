@@ -1,0 +1,103 @@
+// Nanosecond-resolution simulated time.
+//
+// `TimeDelta` is a signed duration and `TimePoint` an absolute instant on the
+// simulation clock (origin = simulation start). Both are thin wrappers over
+// int64 nanoseconds so that all arithmetic is exact and deterministic.
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace bundler {
+
+class TimeDelta {
+ public:
+  constexpr TimeDelta() : ns_(0) {}
+
+  static constexpr TimeDelta Nanos(int64_t ns) { return TimeDelta(ns); }
+  static constexpr TimeDelta Micros(int64_t us) { return TimeDelta(us * 1'000); }
+  static constexpr TimeDelta Millis(int64_t ms) { return TimeDelta(ms * 1'000'000); }
+  static constexpr TimeDelta Seconds(int64_t s) { return TimeDelta(s * 1'000'000'000); }
+  static constexpr TimeDelta SecondsF(double s) {
+    return TimeDelta(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr TimeDelta MillisF(double ms) {
+    return TimeDelta(static_cast<int64_t>(ms * 1e6));
+  }
+  static constexpr TimeDelta Zero() { return TimeDelta(0); }
+  static constexpr TimeDelta Infinite() {
+    return TimeDelta(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr bool IsZero() const { return ns_ == 0; }
+  constexpr bool IsInfinite() const { return ns_ == std::numeric_limits<int64_t>::max(); }
+
+  constexpr TimeDelta operator+(TimeDelta o) const { return TimeDelta(ns_ + o.ns_); }
+  constexpr TimeDelta operator-(TimeDelta o) const { return TimeDelta(ns_ - o.ns_); }
+  constexpr TimeDelta operator-() const { return TimeDelta(-ns_); }
+  constexpr TimeDelta operator*(double f) const {
+    return TimeDelta(static_cast<int64_t>(static_cast<double>(ns_) * f));
+  }
+  constexpr TimeDelta operator/(int64_t d) const { return TimeDelta(ns_ / d); }
+  constexpr double operator/(TimeDelta o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  TimeDelta& operator+=(TimeDelta o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  TimeDelta& operator-=(TimeDelta o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimeDelta(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() : ns_(0) {}
+
+  static constexpr TimePoint FromNanos(int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint Zero() { return TimePoint(0); }
+  static constexpr TimePoint Infinite() {
+    return TimePoint(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr bool IsInfinite() const { return ns_ == std::numeric_limits<int64_t>::max(); }
+
+  constexpr TimePoint operator+(TimeDelta d) const { return TimePoint(ns_ + d.nanos()); }
+  constexpr TimePoint operator-(TimeDelta d) const { return TimePoint(ns_ - d.nanos()); }
+  constexpr TimeDelta operator-(TimePoint o) const { return TimeDelta::Nanos(ns_ - o.ns_); }
+  TimePoint& operator+=(TimeDelta d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_TIME_H_

@@ -1,0 +1,70 @@
+// Time-windowed min/max filter over a stream of (time, value) samples, kept
+// as a monotonic deque. Used for min-RTT tracking at the sendbox and for
+// BBR's bottleneck-bandwidth max filter.
+#ifndef SRC_UTIL_WINDOWED_FILTER_H_
+#define SRC_UTIL_WINDOWED_FILTER_H_
+
+#include <deque>
+
+#include "src/util/time.h"
+
+namespace bundler {
+
+template <typename V, typename Compare>
+class WindowedExtremumFilter {
+ public:
+  explicit WindowedExtremumFilter(TimeDelta window) : window_(window) {}
+
+  void Update(TimePoint now, V value) {
+    Compare better;
+    // Pop stale entries from the front.
+    while (!entries_.empty() && now - entries_.front().time > window_) {
+      entries_.pop_front();
+    }
+    // Pop dominated entries from the back.
+    while (!entries_.empty() && !better(entries_.back().value, value)) {
+      entries_.pop_back();
+    }
+    entries_.push_back(Entry{now, value});
+  }
+
+  bool HasValue(TimePoint now) const {
+    return !entries_.empty() && now - entries_.front().time <= window_;
+  }
+
+  // Current extremum. Entries older than the window that have not been popped
+  // (because Update was not called recently) are still reported; callers that
+  // care should check HasValue first.
+  V Get() const { return entries_.front().value; }
+
+  void Reset() { entries_.clear(); }
+
+  void set_window(TimeDelta window) { window_ = window; }
+  TimeDelta window() const { return window_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    V value;
+  };
+  TimeDelta window_;
+  std::deque<Entry> entries_;
+};
+
+template <typename V>
+struct LessCompare {
+  bool operator()(const V& a, const V& b) const { return a < b; }
+};
+template <typename V>
+struct GreaterCompare {
+  bool operator()(const V& a, const V& b) const { return a > b; }
+};
+
+template <typename V>
+using WindowedMinFilter = WindowedExtremumFilter<V, LessCompare<V>>;
+template <typename V>
+using WindowedMaxFilter = WindowedExtremumFilter<V, GreaterCompare<V>>;
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_WINDOWED_FILTER_H_

@@ -1,0 +1,180 @@
+// Unit and property tests for epoch boundary identification (§4.5): FNV
+// hashing of the header subset, power-of-two rounding, the subset/superset
+// property that makes epoch-size updates loss-tolerant, and sampling-period
+// statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bundler/epoch.h"
+#include "src/util/fnv.h"
+#include "src/util/random.h"
+
+namespace bundler {
+namespace {
+
+Packet PacketWith(uint16_t ip_id, Address dst = MakeAddress(2, 1), uint16_t dport = 80) {
+  FlowKey key;
+  key.src = MakeAddress(1, 1);
+  key.dst = dst;
+  key.src_port = 10000;
+  key.dst_port = dport;
+  Packet p = MakeDataPacket(1, key, 0, kMtuBytes);
+  p.ip_id = ip_id;
+  return p;
+}
+
+TEST(EpochHashTest, DeterministicAcrossCalls) {
+  Packet p = PacketWith(42);
+  EXPECT_EQ(BoundaryHash(p), BoundaryHash(p));
+}
+
+TEST(EpochHashTest, SendboxAndReceiveboxAgree) {
+  // The hash must only read fields that survive the network: copying the
+  // packet (as links do) preserves the hash.
+  Packet p = PacketWith(7);
+  Packet copy = p;
+  copy.queue_enter = TimePoint::FromNanos(123456);  // scratch field mutated in flight
+  EXPECT_EQ(BoundaryHash(p), BoundaryHash(copy));
+}
+
+TEST(EpochHashTest, RetransmissionHashesDifferently) {
+  // §4.5 requirement (iv): IP ID increments per transmission, so the same
+  // segment retransmitted must not be mistaken for the original boundary.
+  Packet original = PacketWith(100);
+  Packet retx = PacketWith(101);
+  retx.seq = original.seq;
+  retx.retransmit = true;
+  EXPECT_NE(BoundaryHash(original), BoundaryHash(retx));
+}
+
+TEST(EpochHashTest, DifferentDestinationsDiffer) {
+  EXPECT_NE(BoundaryHash(PacketWith(5, MakeAddress(2, 1))),
+            BoundaryHash(PacketWith(5, MakeAddress(2, 2))));
+  EXPECT_NE(BoundaryHash(PacketWith(5, MakeAddress(2, 1), 80)),
+            BoundaryHash(PacketWith(5, MakeAddress(2, 1), 443)));
+}
+
+TEST(RoundDownPow2Test, ExactAndBetweenValues) {
+  EXPECT_EQ(RoundDownPow2(1), 1u);
+  EXPECT_EQ(RoundDownPow2(2), 2u);
+  EXPECT_EQ(RoundDownPow2(3), 2u);
+  EXPECT_EQ(RoundDownPow2(4), 4u);
+  EXPECT_EQ(RoundDownPow2(1023), 512u);
+  EXPECT_EQ(RoundDownPow2(1024), 1024u);
+  EXPECT_EQ(RoundDownPow2(1025), 1024u);
+}
+
+TEST(RoundDownPow2Test, ZeroMapsToOne) {
+  EXPECT_EQ(RoundDownPow2(0), 1u);
+}
+
+TEST(EpochSizeTest, MatchesFormula) {
+  // N = 0.25 * minRTT * rate. At 96 Mbit/s and 50 ms: 0.25 * 0.05 s *
+  // 12 MB/s = 150,000 bytes ~ 100 packets -> rounded down to 64.
+  uint32_t n = ComputeEpochSizePkts(TimeDelta::Millis(50), Rate::Mbps(96));
+  EXPECT_EQ(n, 64u);
+}
+
+TEST(EpochSizeTest, ClampsToAtLeastOne) {
+  EXPECT_EQ(ComputeEpochSizePkts(TimeDelta::Micros(10), Rate::Kbps(1)), 1u);
+}
+
+TEST(EpochSizeTest, AlwaysPowerOfTwo) {
+  for (double mbps : {1.0, 5.0, 12.0, 48.0, 96.0, 250.0, 1000.0}) {
+    for (int64_t ms : {5, 10, 20, 50, 100, 300}) {
+      uint32_t n = ComputeEpochSizePkts(TimeDelta::Millis(ms), Rate::Mbps(mbps));
+      EXPECT_TRUE((n & (n - 1)) == 0) << mbps << " Mbps, " << ms << " ms -> " << n;
+      EXPECT_GE(n, 1u);
+      EXPECT_LE(n, 1u << 20);
+    }
+  }
+}
+
+TEST(EpochBoundaryTest, SubsetSupersetProperty) {
+  // The paper's key robustness property: with power-of-two epoch sizes, the
+  // boundary set for 2N is a strict subset of the set for N, so while an
+  // epoch-size update is in flight the two boxes sample nested sets.
+  Rng rng(7);
+  int count_small = 0;
+  int count_large = 0;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t h = rng.NextU64();
+    bool small = IsEpochBoundary(h, 16);
+    bool large = IsEpochBoundary(h, 64);
+    if (large) {
+      EXPECT_TRUE(small) << "boundary at N=64 must also be a boundary at N=16";
+    }
+    count_small += small;
+    count_large += large;
+  }
+  EXPECT_GT(count_small, count_large);
+}
+
+TEST(EpochBoundaryTest, SamplingRateMatchesEpochSize) {
+  // Random hashes should be boundaries with probability ~1/N.
+  Rng rng(13);
+  for (uint32_t n : {2u, 8u, 32u, 128u}) {
+    int hits = 0;
+    const int kTrials = 400000;
+    for (int i = 0; i < kTrials; ++i) {
+      if (IsEpochBoundary(rng.NextU64(), n)) {
+        ++hits;
+      }
+    }
+    double expect = static_cast<double>(kTrials) / n;
+    EXPECT_NEAR(hits, expect, expect * 0.1) << "N=" << n;
+  }
+}
+
+TEST(EpochBoundaryTest, RealPacketStreamSamplesAtExpectedPeriod) {
+  // Drive with realistic packets (incrementing IP ID, fixed flow) instead of
+  // uniform random hashes.
+  const uint32_t kN = 16;
+  int hits = 0;
+  const int kPackets = 64000;
+  for (int i = 0; i < kPackets; ++i) {
+    Packet p = PacketWith(static_cast<uint16_t>(i & 0xffff));
+    if (IsEpochBoundary(BoundaryHash(p), kN)) {
+      ++hits;
+    }
+  }
+  double expect = static_cast<double>(kPackets) / kN;
+  EXPECT_NEAR(hits, expect, expect * 0.15);
+}
+
+TEST(FnvTest, KnownVector) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), kFnv64OffsetBasis);
+  // "a" = 0x61: one xor+multiply step.
+  uint8_t a = 0x61;
+  uint64_t expected = (kFnv64OffsetBasis ^ 0x61) * kFnv64Prime;
+  EXPECT_EQ(Fnv1a64(&a, 1), expected);
+}
+
+TEST(FnvTest, CombineIsOrderSensitive) {
+  uint64_t ab[] = {1, 2};
+  uint64_t ba[] = {2, 1};
+  EXPECT_NE(Fnv1a64Combine(ab, 2), Fnv1a64Combine(ba, 2));
+}
+
+// Property sweep over epoch sizes: nested boundary sets at every adjacent
+// power-of-two pair.
+class EpochNestingTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EpochNestingTest, AdjacentPowersNest) {
+  const uint32_t n = GetParam();
+  Rng rng(n);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t h = rng.NextU64();
+    if (IsEpochBoundary(h, 2 * n)) {
+      EXPECT_TRUE(IsEpochBoundary(h, n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sweep, EpochNestingTest,
+                         ::testing::Values(1u, 2u, 4u, 16u, 64u, 256u, 1024u));
+
+}  // namespace
+}  // namespace bundler

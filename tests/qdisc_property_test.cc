@@ -1,0 +1,180 @@
+// Property tests over every queue discipline: conservation (every enqueued
+// packet is either delivered or counted as a drop), non-negative accounting,
+// empty/limit behavior, and work conservation. Parameterized so each qdisc
+// implementation faces the same invariants.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/qdisc/codel.h"
+#include "src/qdisc/drr.h"
+#include "src/qdisc/fifo.h"
+#include "src/qdisc/fq_codel.h"
+#include "src/qdisc/prio.h"
+#include "src/qdisc/sfq.h"
+#include "src/util/random.h"
+
+namespace bundler {
+namespace {
+
+using QdiscFactory = std::function<std::unique_ptr<Qdisc>()>;
+
+struct QdiscCase {
+  std::string name;
+  QdiscFactory make;
+};
+
+std::vector<QdiscCase> AllQdiscs() {
+  return {
+      {"droptail", [] { return std::make_unique<DropTailFifo>(int64_t{256} * kMtuBytes); }},
+      {"sfq",
+       [] {
+         Sfq::Config cfg;
+         cfg.limit_packets = 256;
+         return std::make_unique<Sfq>(cfg);
+       }},
+      {"drr",
+       [] {
+         Drr::Config cfg;
+         cfg.limit_bytes = int64_t{256} * kMtuBytes;
+         return std::make_unique<Drr>(cfg);
+       }},
+      {"codel", [] { return std::make_unique<Codel>(int64_t{256} * kMtuBytes, CodelParams()); }},
+      {"fq_codel",
+       [] {
+         FqCodel::Config cfg;
+         cfg.limit_packets = 256;
+         return std::make_unique<FqCodel>(cfg);
+       }},
+      {"strict_prio", [] { return std::make_unique<StrictPrio>(3, int64_t{86} * kMtuBytes); }},
+  };
+}
+
+class QdiscPropertyTest : public ::testing::TestWithParam<QdiscCase> {};
+
+Packet RandomPacket(Rng& rng, uint64_t seq) {
+  Packet p;
+  p.id = seq;
+  p.flow_id = rng.NextU64() % 16;
+  p.key.src = MakeAddress(1, static_cast<uint16_t>(p.flow_id));
+  p.key.dst = MakeAddress(2, 1);
+  p.key.src_port = static_cast<uint16_t>(1000 + p.flow_id);
+  p.key.dst_port = static_cast<uint16_t>(2000 + p.flow_id * 3);
+  p.size_bytes = 64 + static_cast<uint32_t>(rng.NextU64() % (kMtuBytes - 64));
+  p.priority = static_cast<uint8_t>(p.flow_id % 3);
+  p.seq = static_cast<int64_t>(seq);
+  return p;
+}
+
+TEST_P(QdiscPropertyTest, ConservationUnderRandomChurn) {
+  auto q = GetParam().make();
+  Rng rng(7);
+  TimePoint now;
+  uint64_t enqueued = 0, delivered = 0, rejected = 0;
+  for (int step = 0; step < 20000; ++step) {
+    now += TimeDelta::Micros(100);
+    if (rng.NextDouble() < 0.55) {
+      Packet p = RandomPacket(rng, enqueued);
+      p.queue_enter = now;
+      ++enqueued;
+      if (!q->Enqueue(std::move(p), now)) {
+        ++rejected;
+      }
+    } else {
+      if (q->Dequeue(now).has_value()) {
+        ++delivered;
+      }
+    }
+  }
+  // Drain the remainder. Dequeue-time droppers (CoDel) may eat packets, so
+  // drain until the qdisc reports empty.
+  while (!q->Empty()) {
+    now += TimeDelta::Millis(1);
+    if (q->Dequeue(now).has_value()) {
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered + q->drops(), enqueued)
+      << GetParam().name << ": every packet must be delivered or counted dropped";
+  EXPECT_GE(q->drops(), rejected);
+  EXPECT_EQ(q->bytes(), 0);
+  EXPECT_EQ(q->packets(), 0);
+}
+
+TEST_P(QdiscPropertyTest, AccountingNeverNegative) {
+  auto q = GetParam().make();
+  Rng rng(11);
+  TimePoint now;
+  for (int step = 0; step < 5000; ++step) {
+    now += TimeDelta::Micros(50);
+    if (rng.NextDouble() < 0.5) {
+      Packet p = RandomPacket(rng, static_cast<uint64_t>(step));
+      p.queue_enter = now;
+      q->Enqueue(std::move(p), now);
+    } else {
+      q->Dequeue(now);
+    }
+    ASSERT_GE(q->bytes(), 0) << GetParam().name;
+    ASSERT_GE(q->packets(), 0) << GetParam().name;
+    ASSERT_EQ(q->packets() == 0, q->Empty()) << GetParam().name;
+  }
+}
+
+TEST_P(QdiscPropertyTest, DequeueFromEmptyIsSafe) {
+  auto q = GetParam().make();
+  TimePoint now;
+  EXPECT_FALSE(q->Dequeue(now).has_value());
+  EXPECT_EQ(q->Peek(), nullptr);
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST_P(QdiscPropertyTest, PeekMatchesNextDeliveredUnlessAqmDrops) {
+  auto q = GetParam().make();
+  Rng rng(13);
+  TimePoint now;
+  for (int i = 0; i < 50; ++i) {
+    Packet p = RandomPacket(rng, static_cast<uint64_t>(i));
+    p.queue_enter = now;
+    q->Enqueue(std::move(p), now);
+  }
+  // Fair-queueing disciplines may rotate to another flow between Peek and
+  // Dequeue (deficit bookkeeping), so the exact-match property only holds for
+  // single-queue qdiscs; for the rest Peek must still point at a live packet.
+  bool single_queue = GetParam().name == "droptail" || GetParam().name == "codel" ||
+                      GetParam().name == "strict_prio";
+  while (!q->Empty()) {
+    const Packet* head = q->Peek();
+    ASSERT_NE(head, nullptr) << GetParam().name;
+    uint64_t head_id = head->id;
+    auto out = q->Dequeue(now);  // no sojourn -> CoDel will not drop
+    ASSERT_TRUE(out.has_value()) << GetParam().name;
+    if (single_queue) {
+      EXPECT_EQ(out->id, head_id) << GetParam().name;
+    }
+  }
+}
+
+TEST_P(QdiscPropertyTest, RespectsConfiguredLimit) {
+  auto q = GetParam().make();
+  TimePoint now;
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    Packet p = RandomPacket(rng, static_cast<uint64_t>(i));
+    p.size_bytes = kMtuBytes;
+    p.queue_enter = now;
+    q->Enqueue(std::move(p), now);
+  }
+  EXPECT_GT(q->drops(), 0u) << GetParam().name;
+  EXPECT_LE(q->packets(), 260) << GetParam().name;  // limit ~256 + slack
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQdiscs, QdiscPropertyTest,
+                         ::testing::ValuesIn(AllQdiscs()),
+                         [](const ::testing::TestParamInfo<QdiscCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace bundler

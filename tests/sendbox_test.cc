@@ -1,0 +1,191 @@
+// Tests for the sendbox/receivebox pair wired through the dumbbell topology:
+// the inner control loop measures the path, adapts the epoch size, shifts the
+// queue to the sendbox, and forwards everything transparently.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/app/workload.h"
+#include "src/bundler/epoch.h"
+#include "src/topo/dumbbell.h"
+#include "src/topo/scenario.h"
+
+namespace bundler {
+namespace {
+
+TEST(SendboxTest, MeasuresPathRttViaFeedback) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::Mbps(96);
+  cfg.rtt = TimeDelta::Millis(50);
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 1, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(10));
+  ASSERT_TRUE(net.sendbox()->measurement().has_min_rtt());
+  // Min RTT ~ propagation RTT (50 ms), within serialization noise.
+  EXPECT_NEAR(net.sendbox()->measurement().min_rtt().ToMillis(), 50.0, 5.0);
+}
+
+TEST(SendboxTest, RateConvergesNearBottleneck) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::Mbps(48);
+  cfg.rtt = TimeDelta::Millis(50);
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 4, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(30));
+  // The sendbox rate should sit near the bottleneck capacity: high enough to
+  // not lose throughput, low enough to keep in-network queues small.
+  double rate = net.sendbox()->current_rate().Mbps();
+  EXPECT_GT(rate, 0.7 * 48);
+  EXPECT_LT(rate, 1.6 * 48);
+  // And the bundle's goodput through the bottleneck is close to capacity.
+  Rate goodput = net.bundle_rate_meter()->AverageRate(
+      TimePoint::Zero() + TimeDelta::Seconds(10), TimePoint::Zero() + TimeDelta::Seconds(30));
+  EXPECT_GT(goodput.Mbps(), 0.8 * 48);
+}
+
+TEST(SendboxTest, ShiftsQueueFromBottleneckToItself) {
+  // The paper's core claim (Fig. 2): with Bundler, the standing queue lives
+  // at the sendbox, not the bottleneck.
+  auto run = [](bool bundler_on) {
+    Simulator sim;
+    DumbbellConfig cfg;
+    cfg.bottleneck_rate = Rate::Mbps(96);
+    cfg.rtt = TimeDelta::Millis(50);
+    cfg.bundler_enabled = bundler_on;
+    Dumbbell net(&sim, cfg);
+    StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 8, HostCcType::kCubic,
+                   TimePoint::Zero());
+    sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(20));
+    // Bottleneck queueing delay averaged over the steady-state tail.
+    double bneck_ms = net.bottleneck_delay()->delay_ms().MeanInRange(
+        TimePoint::Zero() + TimeDelta::Seconds(10),
+        TimePoint::Zero() + TimeDelta::Seconds(20));
+    double sendbox_ms =
+        bundler_on ? net.sendbox()->queue_delay_log().MeanInRange(
+                         TimePoint::Zero() + TimeDelta::Seconds(10),
+                         TimePoint::Zero() + TimeDelta::Seconds(20))
+                   : 0.0;
+    return std::pair<double, double>(bneck_ms, sendbox_ms);
+  };
+  auto [sq_bneck, sq_sendbox] = run(false);
+  auto [bd_bneck, bd_sendbox] = run(true);
+  // Status quo: Cubic fills the 2-BDP droptail buffer.
+  EXPECT_GT(sq_bneck, 30.0);
+  // With Bundler: bottleneck queue shrinks by a large factor...
+  EXPECT_LT(bd_bneck, sq_bneck / 3);
+  // ...and the queue materializes at the sendbox instead.
+  EXPECT_GT(bd_sendbox, bd_bneck);
+  (void)sq_sendbox;
+}
+
+TEST(SendboxTest, EpochSizeAdaptsAndStaysPowerOfTwo) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::Mbps(96);
+  cfg.rtt = TimeDelta::Millis(50);
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 4, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(20));
+  uint32_t n = net.sendbox()->epoch_size_pkts();
+  EXPECT_TRUE((n & (n - 1)) == 0) << n;
+  // At ~96 Mbit/s and 50 ms the formula gives 64 packets.
+  EXPECT_GE(n, 16u);
+  EXPECT_LE(n, 128u);
+  // The receivebox converged to the same value (via epoch ctl messages).
+  EXPECT_EQ(net.receivebox()->epoch_size_pkts(), n);
+}
+
+TEST(SendboxTest, ReceiveboxCountsAndAnswersBoundaries) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 2, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(10));
+  EXPECT_GT(net.receivebox()->bytes_received(), 10'000'000);
+  EXPECT_GT(net.receivebox()->feedback_sent(), 50u);
+  // Feedback actually reached the sendbox and matched records.
+  EXPECT_GT(net.sendbox()->measurement().feedback_matched(), 50u);
+}
+
+TEST(SendboxTest, StaysInDelayControlWithoutCrossTraffic) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 4, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(30));
+  EXPECT_EQ(net.sendbox()->mode(), BundlerMode::kDelayControl);
+  // Exactly the initial mode-log entry; no flapping.
+  EXPECT_EQ(net.sendbox()->mode_log().size(), 1u);
+}
+
+TEST(SendboxTest, NonBundleTrafficPassesThrough) {
+  // ACKs and control traffic arriving at the sendbox must be forwarded, not
+  // queued in the bundle scheduler.
+  Simulator sim;
+  DumbbellConfig cfg;
+  Dumbbell net(&sim, cfg);
+  // A reverse-direction data packet (dst = our own site) must not be bundled.
+  Packet stray;
+  stray.type = PacketType::kData;
+  stray.key.src = MakeAddress(BundleDstSite(0), 1);
+  stray.key.dst = MakeAddress(BundleSrcSite(0), 1);
+  stray.size_bytes = 100;
+  net.sendbox()->HandlePacket(stray);
+  EXPECT_EQ(net.sendbox()->queue_packets(), 0);
+}
+
+TEST(SendboxTest, SchedulerFactoryOverridesDefault) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.sendbox.scheduler_factory = [] {
+    return MakeScheduler(SchedulerType::kFifo, 1000);
+  };
+  Dumbbell net(&sim, cfg);
+  EXPECT_STREQ(net.sendbox()->scheduler()->name(), "droptail_fifo");
+}
+
+TEST(SendboxTest, DefaultSchedulerIsSfq) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  Dumbbell net(&sim, cfg);
+  EXPECT_STREQ(net.sendbox()->scheduler()->name(), "sfq");
+}
+
+TEST(SendboxTest, RateLogTracksControlTicks) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 1, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(2));
+  // 10 ms control interval -> ~200 samples in 2 s.
+  EXPECT_NEAR(static_cast<double>(net.sendbox()->rate_log().size()), 200.0, 10.0);
+}
+
+TEST(SendboxTest, DisabledBundlerIsTransparent) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bundler_enabled = false;
+  Dumbbell net(&sim, cfg);
+  EXPECT_EQ(net.sendbox(), nullptr);
+  EXPECT_EQ(net.receivebox(), nullptr);
+  // Traffic still flows end to end.
+  TimePoint done;
+  IssueSingleRequest(&sim, net.flows(), net.server(), net.client(), 50'000,
+                     HostCcType::kCubic, nullptr);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 1, HostCcType::kCubic,
+                 TimePoint::Zero());
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(5));
+  EXPECT_GT(net.bundle_rate_meter()->total_bytes(), 1'000'000);
+  (void)done;
+}
+
+}  // namespace
+}  // namespace bundler

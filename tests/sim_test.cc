@@ -1,0 +1,118 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace bundler {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(TimePoint::FromNanos(30), [&]() { order.push_back(3); });
+  q.Push(TimePoint::FromNanos(10), [&]() { order.push_back(1); });
+  q.Push(TimePoint::FromNanos(20), [&]() { order.push_back(2); });
+  TimePoint t;
+  while (!q.Empty()) {
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(TimePoint::FromNanos(5), [&order, i]() { order.push_back(i); });
+  }
+  TimePoint t;
+  while (!q.Empty()) {
+    q.PopNext(&t)();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventId id = q.Push(TimePoint::FromNanos(1), [&]() { ++fired; });
+  q.Push(TimePoint::FromNanos(2), [&]() { ++fired; });
+  q.Cancel(id);
+  TimePoint t;
+  while (!q.Empty()) {
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.Cancel(123456);
+  q.Cancel(kInvalidEventId);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  TimePoint seen;
+  sim.Schedule(TimeDelta::Millis(5), [&]() { seen = sim.now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, TimePoint::Zero() + TimeDelta::Millis(5));
+  EXPECT_EQ(sim.events_dispatched(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(TimeDelta::Millis(5), [&]() { ++fired; });
+  sim.Schedule(TimeDelta::Millis(15), [&]() { ++fired; });
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::Zero() + TimeDelta::Millis(10));
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Millis(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&]() {
+    times.push_back(sim.now().ToSeconds());
+    if (times.size() < 5) {
+      sim.Schedule(TimeDelta::Seconds(1), tick);
+    }
+  };
+  sim.Schedule(TimeDelta::Seconds(1), tick);
+  sim.RunAll();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 5.0);
+}
+
+TEST(SimulatorTest, StopHaltsDispatch) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(TimeDelta::Millis(1), [&]() {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(TimeDelta::Millis(2), [&]() { ++fired; });
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelPreventsCallback) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(TimeDelta::Millis(1), [&]() { ++fired; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace bundler
