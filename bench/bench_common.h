@@ -12,26 +12,36 @@
 #include <vector>
 
 #include "src/metrics/fct.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/trial_runner.h"
 #include "src/topo/scenario.h"
+#include "src/util/check.h"
 #include "src/util/table.h"
 
 namespace bundler {
 namespace bench {
 
-// The paper's default emulation (§7.1), scaled in duration only: 96 Mbit/s
-// bottleneck, 50 ms RTT, 84 Mbit/s offered web load, endhost Cubic, sendbox
-// Copa + Nimbus detection, SFQ scheduling. Callers override fields as their
-// figure requires.
+// Runs a registered scenario at its default trial count on `threads` workers
+// and returns the aggregated per-cell summary. The shared entry point for
+// benches that are thin wrappers over src/runner scenarios.
+inline runner::ScenarioSummary RunRegisteredScenario(const std::string& name,
+                                                     int threads = 4) {
+  runner::RegisterBuiltinScenarios();
+  const runner::Scenario* scenario = runner::ScenarioRegistry::Global().Find(name);
+  BUNDLER_CHECK_MSG(scenario != nullptr, "scenario '%s' is not registered",
+                    name.c_str());
+  runner::RunnerOptions options;
+  options.threads = threads;
+  runner::TrialRunner trial_runner(options);
+  std::vector<runner::TrialPoint> plan = runner::ExpandTrials(scenario->spec, 0);
+  return runner::Aggregate(scenario->spec, plan,
+                           trial_runner.Run(*scenario, plan));
+}
+
+// The paper's default emulation (§7.1); see PaperExperimentDefaults.
 inline ExperimentConfig PaperScenario(bool bundler_on, uint64_t seed = 1) {
-  ExperimentConfig cfg;
-  cfg.net.bottleneck_rate = Rate::Mbps(96);
-  cfg.net.rtt = TimeDelta::Millis(50);
-  cfg.net.bundler_enabled = bundler_on;
-  cfg.bundle_web_load = {Rate::Mbps(84)};
-  cfg.duration = TimeDelta::Seconds(60);
-  cfg.warmup = TimeDelta::Seconds(10);
-  cfg.seed = seed;
-  return cfg;
+  return PaperExperimentDefaults(bundler_on, seed);
 }
 
 struct SlowdownSummary {

@@ -6,66 +6,54 @@
 // Bundler+SFQ 1.26 (28% lower), In-Network 1.07 (a further 15% lower);
 // p99: Bundler 41.38 vs Status Quo 79.37 (48% lower); Bundler+FIFO is worse
 // than Status Quo.
+//
+// Thin wrapper over the "fig09_fct" registered scenario (src/runner): the
+// runner expands variants x seeds, executes trials in parallel, and pools
+// slowdown samples across seeds exactly as this bench used to by hand.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/trial_runner.h"
 
 namespace bundler {
 namespace {
-
-struct Variant {
-  std::string name;
-  bool bundler;
-  bool in_network_fq;
-  SchedulerType sched;
-};
 
 void Run() {
   bench::PrintHeader("Figure 9 — FCT distributions (median slowdown by request size)",
                      "StatusQuo 1.76 / Bundler+SFQ 1.26 / InNetwork 1.07; "
                      "p99 79.37 / 41.38 / 27.49; Bundler+FIFO worse than StatusQuo");
 
-  const std::vector<Variant> variants = {
-      {"StatusQuo", false, false, SchedulerType::kSfq},
-      {"Bundler+SFQ", true, false, SchedulerType::kSfq},
-      {"Bundler+FIFO", true, false, SchedulerType::kFifo},
-      {"In-Network", false, true, SchedulerType::kSfq},
-  };
-  const int kRuns = 3;
+  runner::ScenarioSummary summary = bench::RunRegisteredScenario("fig09_fct");
 
-  IdealFctCache ideal(Rate::Mbps(96), TimeDelta::Millis(50), HostCcType::kCubic);
-  IdealFctFn ideal_fn = ideal.Fn();
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"status_quo", "StatusQuo"},
+      {"bundler_sfq", "Bundler+SFQ"},
+      {"bundler_fifo", "Bundler+FIFO"},
+      {"in_network", "In-Network"},
+  };
+  const std::vector<std::pair<std::string, std::string>> buckets = {
+      {"slowdown_all", "all"},
+      {"slowdown_small", "<10KB"},
+      {"slowdown_medium", "10KB-1MB"},
+      {"slowdown_large", ">1MB"},
+  };
 
   Table table({"config", "bucket", "median", "p75", "p99", "requests"});
   double medians[4] = {0, 0, 0, 0};
   double p99s[4] = {0, 0, 0, 0};
-
   for (size_t v = 0; v < variants.size(); ++v) {
-    const Variant& var = variants[v];
-    // Pool slowdowns across seeds (the paper pools 10 runs).
-    QuantileEstimator pooled[4];
-    for (int run = 0; run < kRuns; ++run) {
-      ExperimentConfig cfg = bench::PaperScenario(var.bundler, /*seed=*/run + 1);
-      cfg.net.in_network_fq = var.in_network_fq;
-      cfg.net.sendbox.scheduler = var.sched;
-      Experiment e(cfg);
-      e.Run();
-      auto buckets = bench::SizeBuckets(TimePoint::Zero() + cfg.warmup);
-      for (size_t b = 0; b < buckets.size(); ++b) {
-        pooled[b].AddAll(e.fct()->Slowdowns(ideal_fn, buckets[b].second).samples());
-      }
+    const runner::CellSummary* cell = runner::FindCell(summary, variants[v].first);
+    for (const auto& [metric, label] : buckets) {
+      const runner::SampleStat& s = cell->samples.at(metric);
+      table.AddRow({variants[v].second, label, Table::Num(s.median), Table::Num(s.p75),
+                    Table::Num(s.p99), std::to_string(s.n)});
     }
-    const char* bucket_names[4] = {"all", "<10KB", "10KB-1MB", ">1MB"};
-    for (size_t b = 0; b < 4; ++b) {
-      table.AddRow({var.name, bucket_names[b], Table::Num(pooled[b].Median()),
-                    Table::Num(pooled[b].Quantile(0.75)),
-                    Table::Num(pooled[b].Quantile(0.99)),
-                    std::to_string(pooled[b].count())});
-    }
-    medians[v] = pooled[0].Median();
-    p99s[v] = pooled[0].Quantile(0.99);
+    medians[v] = cell->samples.at("slowdown_all").median;
+    p99s[v] = cell->samples.at("slowdown_all").p99;
   }
   table.Print();
 

@@ -4,106 +4,20 @@
 // Cubic cross flow, (3) non-buffer-filling web cross traffic. Bundler must
 // detect the elastic competitor, revert to ~status-quo behavior (short-flow
 // FCT ~12% worse during that period), and resume scheduling when it leaves.
+//
+// Thin wrapper over the "fig10_cross_traffic" registered scenario
+// (src/runner), which owns the three-phase topology/workload construction.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "src/app/workload.h"
-#include "src/topo/dumbbell.h"
-#include "src/topo/scenario.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/trial_runner.h"
 
 namespace bundler {
 namespace {
-
-TimePoint Sec(double s) { return TimePoint::Zero() + TimeDelta::SecondsF(s); }
-
-struct PhaseFcts {
-  double p25, p50, p75;
-  size_t n;
-};
-
-PhaseFcts ShortFlowFcts(const FctRecorder& fct, double from_s, double to_s) {
-  RequestFilter f = RequestFilter::SmallFlows();
-  f.min_start = Sec(from_s + 5);  // let each phase settle
-  f.max_start = Sec(to_s);
-  QuantileEstimator q = fct.Fcts(f);
-  return {q.Quantile(0.25) * 1000, q.Median() * 1000, q.Quantile(0.75) * 1000,
-          q.count()};
-}
-
-struct RunResult {
-  PhaseFcts phase[3];
-  std::vector<TimeSeries::Sample> bundle_tput;
-  std::vector<TimeSeries::Sample> cross_tput;
-  std::vector<TimeSeries::Sample> bneck_delay;
-  std::vector<std::pair<double, const char*>> mode_transitions;
-};
-
-RunResult RunOne(bool bundler_on, uint64_t seed) {
-  Simulator sim;
-  DumbbellConfig cfg;
-  cfg.bottleneck_rate = Rate::Mbps(96);
-  cfg.rtt = TimeDelta::Millis(50);
-  cfg.bundler_enabled = bundler_on;
-  cfg.rate_meter_window = TimeDelta::Millis(500);
-  Dumbbell net(&sim, cfg);
-
-  SizeCdf cdf = SizeCdf::InternetCoreRouter();
-  FctRecorder fct;
-  WebWorkloadConfig wl;
-  wl.offered_load = Rate::Mbps(84);
-  PoissonWebWorkload bundle_wl(&sim, net.flows(), net.server(), net.client(), &cdf, wl,
-                               seed, &fct);
-
-  // Phase 2 (60..120 s): one backlogged Cubic flow, sized to drain shortly
-  // before t=120. It averages roughly a third of the link against the
-  // bundle's 200-connection mix (pass-through mode competes per flow), so a
-  // 0.3 x 60 s x link budget finishes within the phase even in bad runs.
-  TcpFlowParams cross;
-  cross.cc = HostCcType::kCubic;
-  cross.size_bytes = static_cast<int64_t>(60 * 96e6 / 8 * 0.30);
-  sim.Schedule(TimeDelta::Seconds(60), [&]() {
-    StartTcpFlow(net.flows(), net.cross_server(), net.cross_client(), cross, nullptr);
-  });
-
-  // Phase 3 (120..180 s): non-buffer-filling web cross traffic from the same
-  // size distribution. Offered so that bundle + cross stays under capacity
-  // (84 + 10 < 96): the paper's phase 3 shows Bundler resuming its benefits,
-  // which is only possible when the aggregate is not overloaded.
-  FctRecorder cross_fct;
-  WebWorkloadConfig cross_wl;
-  cross_wl.offered_load = Rate::Mbps(10);
-  cross_wl.start = Sec(120);
-  cross_wl.stop = Sec(180);
-  PoissonWebWorkload cross_web(&sim, net.flows(), net.cross_server(),
-                               net.cross_client(), &cdf, cross_wl, seed + 77,
-                               &cross_fct);
-
-  sim.RunUntil(Sec(180));
-
-  RunResult r;
-  r.phase[0] = ShortFlowFcts(fct, 0, 60);
-  r.phase[1] = ShortFlowFcts(fct, 60, 120);
-  r.phase[2] = ShortFlowFcts(fct, 120, 180);
-  r.bundle_tput = net.bundle_rate_meter()->rate_mbps().Downsample(TimeDelta::Seconds(5));
-  r.cross_tput = net.cross_rate_meter()->rate_mbps().Downsample(TimeDelta::Seconds(5));
-  r.bneck_delay = net.bottleneck_delay()->delay_ms().Downsample(TimeDelta::Seconds(5));
-  if (bundler_on) {
-    for (const auto& [t, m] : net.sendbox()->mode_log()) {
-      r.mode_transitions.push_back({t.ToSeconds(), BundlerModeName(m)});
-    }
-  }
-  return r;
-}
-
-void PrintSeries(const char* label, const std::vector<TimeSeries::Sample>& s) {
-  std::printf("%-28s", label);
-  for (const auto& p : s) {
-    if (static_cast<int>(p.time.ToSeconds()) % 10 < 5) {
-      std::printf("%6.0f", p.value);
-    }
-  }
-  std::printf("\n");
-}
 
 void Run() {
   bench::PrintHeader(
@@ -112,39 +26,52 @@ void Run() {
       "Bundler detects the elastic flow, competes fairly (short-flow FCT ~12% "
       "worse than StatusQuo during that phase), then resumes scheduling");
 
-  RunResult bd = RunOne(true, 1);
-  RunResult sq = RunOne(false, 1);
+  runner::ScenarioSummary summary =
+      bench::RunRegisteredScenario("fig10_cross_traffic");
 
-  std::printf("\ntime series (10 s grid, Mbit/s and ms):\n");
-  PrintSeries("Bundler: bundle tput", bd.bundle_tput);
-  PrintSeries("Bundler: cross tput", bd.cross_tput);
-  PrintSeries("Bundler: in-net delay", bd.bneck_delay);
-  PrintSeries("StatusQuo: bundle tput", sq.bundle_tput);
-  PrintSeries("StatusQuo: in-net delay", sq.bneck_delay);
+  const runner::CellSummary* bd = runner::FindCell(summary, "bundler");
+  const runner::CellSummary* sq = runner::FindCell(summary, "status_quo");
 
-  std::printf("\nBundler mode transitions:\n");
-  for (const auto& [t, name] : bd.mode_transitions) {
-    std::printf("  t=%6.1f s  -> %s\n", t, name);
-  }
-
-  std::printf("\nshort-flow (<10 KB) FCTs per phase (ms):\n");
+  std::printf("\nshort-flow (<10 KB) FCTs per phase (ms), pooled over %d seeds:\n",
+              summary.trials);
   Table t({"phase", "config", "p25", "median", "p75", "n"});
   const char* phase_names[3] = {"no cross", "buffer-filling", "non-buffer-filling"};
+  double bd_p50[3] = {0, 0, 0};
+  double sq_p50[3] = {0, 0, 0};
   for (int p = 0; p < 3; ++p) {
-    t.AddRow({phase_names[p], "Bundler", Table::Num(bd.phase[p].p25),
-              Table::Num(bd.phase[p].p50), Table::Num(bd.phase[p].p75),
-              std::to_string(bd.phase[p].n)});
-    t.AddRow({phase_names[p], "StatusQuo", Table::Num(sq.phase[p].p25),
-              Table::Num(sq.phase[p].p50), Table::Num(sq.phase[p].p75),
-              std::to_string(sq.phase[p].n)});
+    std::string metric = "short_fct_phase" + std::to_string(p + 1) + "_ms";
+    const runner::SampleStat& b = bd->samples.at(metric);
+    const runner::SampleStat& s = sq->samples.at(metric);
+    bd_p50[p] = b.median;
+    sq_p50[p] = s.median;
+    t.AddRow({phase_names[p], "Bundler", Table::Num(b.p25), Table::Num(b.median),
+              Table::Num(b.p75), std::to_string(b.n)});
+    t.AddRow({phase_names[p], "StatusQuo", Table::Num(s.p25), Table::Num(s.median),
+              Table::Num(s.p75), std::to_string(s.n)});
   }
   t.Print();
 
-  double phase2_delta = (bd.phase[1].p50 / sq.phase[1].p50 - 1) * 100;
+  std::printf("\nbundle throughput per phase (Mbit/s, mean over seeds):\n");
+  Table tput({"config", "phase 1", "phase 2", "phase 3"});
+  for (const auto& [cell, label] :
+       {std::pair{bd, "Bundler"}, std::pair{sq, "StatusQuo"}}) {
+    tput.AddRow({label, Table::Num(cell->scalars.at("bundle_tput_phase1_mbps").mean),
+                 Table::Num(cell->scalars.at("bundle_tput_phase2_mbps").mean),
+                 Table::Num(cell->scalars.at("bundle_tput_phase3_mbps").mean)});
+  }
+  tput.Print();
+
+  const runner::ScalarStat& pt = bd->scalars.at("phase2_passthrough_frac");
+  std::printf("\nBundler spent %.0f%% (mean; min %.0f%%, max %.0f%%) of phase 2 in "
+              "pass-through; %.1f mode transitions per run\n",
+              pt.mean * 100, pt.min * 100, pt.max * 100,
+              bd->scalars.at("mode_transitions").mean);
+
+  double phase2_delta = (bd_p50[1] / sq_p50[1] - 1) * 100;
   bench::PrintHeadline(
       "phase 1/3 Bundler beats StatusQuo (%.0f / %.0f ms vs %.0f / %.0f ms median); "
       "phase 2 Bundler within ~%.0f%% of StatusQuo (paper: ~12%% worse)",
-      bd.phase[0].p50, bd.phase[2].p50, sq.phase[0].p50, sq.phase[2].p50, phase2_delta);
+      bd_p50[0], bd_p50[2], sq_p50[0], sq_p50[2], phase2_delta);
 }
 
 }  // namespace

@@ -3,20 +3,20 @@
 // each bundle carries web requests plus one backlogged Cubic flow. The paper
 // reports both bundles keeping low in-network queueing and each observing
 // improved median FCT relative to the status quo, regardless of the split.
+//
+// Thin wrapper over the "fig13_competing_bundles" registered scenario
+// (src/runner), whose `load0_mbps` sweep axis carries the split.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/trial_runner.h"
 
 namespace bundler {
 namespace {
-
-struct Split {
-  std::string name;
-  double load0_mbps;
-  double load1_mbps;
-};
 
 void Run() {
   bench::PrintHeader(
@@ -24,44 +24,35 @@ void Run() {
       "each bundle observes improved median FCT vs its StatusQuo baseline; "
       "bundles share the link without starving each other");
 
-  const std::vector<Split> splits = {{"1:1", 42, 42}, {"2:1", 56, 28}};
-  IdealFctCache ideal(Rate::Mbps(96), TimeDelta::Millis(50), HostCcType::kCubic);
-  IdealFctFn ideal_fn = ideal.Fn();
+  runner::ScenarioSummary summary =
+      bench::RunRegisteredScenario("fig13_competing_bundles");
+  const runner::Scenario* scenario =
+      runner::ScenarioRegistry::Global().Find("fig13_competing_bundles");
 
   Table table({"split", "bundle", "offered (Mbit/s)", "StatusQuo median",
                "Bundler median", "improvement", "tput (Mbit/s)"});
-
   bool all_improved = true;
-  for (const Split& split : splits) {
-    double medians[2][2];  // [bundler?][bundle]
-    double tputs[2];
-    for (int with_bundler = 0; with_bundler <= 1; ++with_bundler) {
-      ExperimentConfig cfg = bench::PaperScenario(with_bundler == 1);
-      cfg.net.num_bundles = 2;
-      cfg.bundle_web_load = {Rate::Mbps(split.load0_mbps), Rate::Mbps(split.load1_mbps)};
-      cfg.bundle_bulk_flows = 1;
-      Experiment e(cfg);
-      e.Run();
-      for (int b = 0; b < 2; ++b) {
-        bench::SlowdownSummary s =
-            bench::Summarize(*e.fct(b), ideal_fn, e.MeasuredRequests());
-        medians[with_bundler][b] = s.median;
-        if (with_bundler == 1) {
-          tputs[b] = e.net()
-                         ->bundle_rate_meter(b)
-                         ->AverageRate(TimePoint::Zero() + cfg.warmup,
-                                       TimePoint::Zero() + cfg.duration)
-                         .Mbps();
-        }
-      }
-    }
+  // The splits come straight from the scenario's sweep axis, so the table
+  // always labels what was actually simulated.
+  for (double load0 : scenario->spec.axes.at(0).values) {
+    double load1 = runner::kFig13AggregateLoadMbps - load0;
+    double ratio = load0 / load1;
+    std::string split_name =
+        Table::Num(ratio, ratio == static_cast<int64_t>(ratio) ? 0 : 1) + ":1";
+    const runner::CellSummary* sq =
+        runner::FindCell(summary, "status_quo", {{"load0_mbps", load0}});
+    const runner::CellSummary* bd =
+        runner::FindCell(summary, "bundler", {{"load0_mbps", load0}});
     for (int b = 0; b < 2; ++b) {
-      double improvement = (1 - medians[1][b] / medians[0][b]) * 100;
-      all_improved = all_improved && medians[1][b] < medians[0][b];
-      table.AddRow({split.name, std::to_string(b),
-                    Table::Num(b == 0 ? split.load0_mbps : split.load1_mbps, 0),
-                    Table::Num(medians[0][b]), Table::Num(medians[1][b]),
-                    Table::Num(improvement, 0) + "%", Table::Num(tputs[b], 1)});
+      std::string suffix = "_b" + std::to_string(b);
+      double sq_median = sq->samples.at("slowdown" + suffix).median;
+      double bd_median = bd->samples.at("slowdown" + suffix).median;
+      double improvement = (1 - bd_median / sq_median) * 100;
+      all_improved = all_improved && bd_median < sq_median;
+      table.AddRow({split_name, std::to_string(b),
+                    Table::Num(b == 0 ? load0 : load1, 0), Table::Num(sq_median),
+                    Table::Num(bd_median), Table::Num(improvement, 0) + "%",
+                    Table::Num(bd->scalars.at("tput_mbps" + suffix).mean, 1)});
     }
   }
   table.Print();

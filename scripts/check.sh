@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entrypoint: configure + build + unit tests + one smoke scenario run,
+# including the thread-count determinism guarantee (same seed => byte-identical
+# aggregate JSON regardless of --threads).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "--- smoke scenario: fig09_fct (2 trials, 2 threads)"
+./build/bundler_run --scenario fig09_fct --trials 2 --threads 2 \
+  --out build/smoke_t2 --quiet
+
+echo "--- determinism: same seeds on 4 threads must match byte-for-byte"
+./build/bundler_run --scenario fig09_fct --trials 2 --threads 4 \
+  --out build/smoke_t4 --quiet > /dev/null
+cmp build/smoke_t2/fig09_fct.json build/smoke_t4/fig09_fct.json
+cmp build/smoke_t2/fig09_fct.csv build/smoke_t4/fig09_fct.csv
+
+echo "check.sh: OK"

@@ -1,0 +1,18 @@
+#include "src/runner/builtin_scenarios.h"
+
+namespace bundler {
+namespace runner {
+
+void RegisterBuiltinScenarios() {
+  static const bool registered = []() {
+    ScenarioRegistry* registry = &ScenarioRegistry::Global();
+    RegisterFig09Fct(registry);
+    RegisterFig10CrossTraffic(registry);
+    RegisterFig13CompetingBundles(registry);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace runner
+}  // namespace bundler

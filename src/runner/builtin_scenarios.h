@@ -1,0 +1,30 @@
+// Built-in scenarios reproducing the paper's figures on the experiment
+// runner. Registration is explicit (no static initializers) so the link
+// never silently drops a scenario: call RegisterBuiltinScenarios() once at
+// startup from any tool that wants them (bundler_run, benches, tests).
+#ifndef SRC_RUNNER_BUILTIN_SCENARIOS_H_
+#define SRC_RUNNER_BUILTIN_SCENARIOS_H_
+
+#include "src/runner/scenario.h"
+
+namespace bundler {
+namespace runner {
+
+// Idempotent: safe to call more than once per process.
+void RegisterBuiltinScenarios();
+
+// fig13_competing_bundles splits this aggregate offered load across its two
+// bundles (`load0_mbps` axis carries bundle 0's share). Exported so the bench
+// wrapper labels offered loads consistently with what the scenario simulates.
+inline constexpr double kFig13AggregateLoadMbps = 84;
+
+// Individual registrations (each CHECK-fails on double registration; prefer
+// RegisterBuiltinScenarios).
+void RegisterFig09Fct(ScenarioRegistry* registry);
+void RegisterFig10CrossTraffic(ScenarioRegistry* registry);
+void RegisterFig13CompetingBundles(ScenarioRegistry* registry);
+
+}  // namespace runner
+}  // namespace bundler
+
+#endif  // SRC_RUNNER_BUILTIN_SCENARIOS_H_

@@ -1,0 +1,38 @@
+#include "src/runner/ideal_fct.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "src/topo/scenario.h"
+
+namespace bundler {
+namespace runner {
+
+IdealFctFn SharedIdealFctFn(Rate bottleneck_rate, TimeDelta rtt, HostCcType host_cc) {
+  using Key = std::tuple<double, int64_t, int>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<IdealFctCache>>* caches =
+      new std::map<Key, std::unique_ptr<IdealFctCache>>();
+
+  Key key{bottleneck_rate.bps(), rtt.nanos(), static_cast<int>(host_cc)};
+  IdealFctCache* cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    std::unique_ptr<IdealFctCache>& slot = (*caches)[key];
+    if (slot == nullptr) {
+      slot = std::make_unique<IdealFctCache>(bottleneck_rate, rtt, host_cc);
+    }
+    cache = slot.get();
+  }
+  return [cache](int64_t size_bytes) {
+    // IdealFctCache mutates its memo map on miss; serialize all lookups.
+    static std::mutex lookup_mu;
+    std::lock_guard<std::mutex> lock(lookup_mu);
+    return cache->Get(size_bytes);
+  };
+}
+
+}  // namespace runner
+}  // namespace bundler

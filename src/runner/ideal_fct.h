@@ -1,0 +1,23 @@
+// Process-wide, thread-safe ideal-FCT lookup shared across trials. Cache
+// misses simulate a single flow on an idle network (IdealFctCache), which is
+// far too expensive to redo per trial: scenarios that divide by ideal FCTs
+// share one cache per (rate, rtt, host CC) so each distinct request size is
+// simulated once per process, no matter how many trials run.
+#ifndef SRC_RUNNER_IDEAL_FCT_H_
+#define SRC_RUNNER_IDEAL_FCT_H_
+
+#include "src/metrics/fct.h"
+#include "src/topo/dumbbell.h"
+
+namespace bundler {
+namespace runner {
+
+// The returned function serializes lookups with an internal mutex; values are
+// deterministic per size, so sharing across concurrent trials cannot change
+// results.
+IdealFctFn SharedIdealFctFn(Rate bottleneck_rate, TimeDelta rtt, HostCcType host_cc);
+
+}  // namespace runner
+}  // namespace bundler
+
+#endif  // SRC_RUNNER_IDEAL_FCT_H_

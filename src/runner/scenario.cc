@@ -1,0 +1,97 @@
+#include "src/runner/scenario.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+namespace runner {
+
+double TrialPoint::Param(const std::string& name) const {
+  for (const auto& [axis, value] : params) {
+    if (axis == name) {
+      return value;
+    }
+  }
+  BUNDLER_CHECK_MSG(false, "trial has no sweep axis named '%s'", name.c_str());
+  return 0.0;
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::Register(ScenarioSpec spec, TrialFn run) {
+  BUNDLER_CHECK_MSG(!spec.name.empty(), "scenario needs a name");
+  BUNDLER_CHECK_MSG(!spec.variants.empty(), "scenario '%s' needs >= 1 variant",
+                    spec.name.c_str());
+  BUNDLER_CHECK_MSG(spec.default_trials >= 1, "scenario '%s' needs >= 1 trial",
+                    spec.name.c_str());
+  for (const SweepAxis& axis : spec.axes) {
+    BUNDLER_CHECK_MSG(!axis.values.empty(), "scenario '%s' axis '%s' has no values",
+                      spec.name.c_str(), axis.name.c_str());
+  }
+  std::string name = spec.name;
+  auto [it, inserted] =
+      scenarios_.emplace(name, Scenario{std::move(spec), std::move(run)});
+  (void)it;
+  BUNDLER_CHECK_MSG(inserted, "duplicate scenario '%s'", name.c_str());
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::List() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    out.push_back(&scenario);
+  }
+  return out;
+}
+
+std::vector<TrialPoint> ExpandTrials(const ScenarioSpec& spec, int trials) {
+  if (trials <= 0) {
+    trials = spec.default_trials;
+  }
+  size_t grid = 1;
+  for (const SweepAxis& axis : spec.axes) {
+    grid *= axis.values.size();
+  }
+  std::vector<TrialPoint> plan;
+  plan.reserve(spec.variants.size() * grid * static_cast<size_t>(trials));
+
+  for (const std::string& variant : spec.variants) {
+    // Walk the cartesian product with a mixed-radix odometer; first axis is
+    // the outermost (slowest-moving) digit.
+    std::vector<size_t> idx(spec.axes.size(), 0);
+    for (size_t cell = 0; cell < grid; ++cell) {
+      std::vector<std::pair<std::string, double>> params;
+      params.reserve(spec.axes.size());
+      for (size_t a = 0; a < spec.axes.size(); ++a) {
+        params.emplace_back(spec.axes[a].name, spec.axes[a].values[idx[a]]);
+      }
+      for (int t = 0; t < trials; ++t) {
+        TrialPoint p;
+        p.variant = variant;
+        p.params = params;
+        p.seed = spec.seed_base + static_cast<uint64_t>(t);
+        p.trial_index = static_cast<int>(plan.size());
+        plan.push_back(std::move(p));
+      }
+      for (size_t a = spec.axes.size(); a-- > 0;) {
+        if (++idx[a] < spec.axes[a].values.size()) {
+          break;
+        }
+        idx[a] = 0;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace runner
+}  // namespace bundler

@@ -1,0 +1,66 @@
+// Figure 13 as a registered scenario: two bundles competing at the same
+// bottleneck. Aggregate offered load is 84 Mbit/s on a 96 Mbit/s link, swept
+// over splits 1:1 (42/42) and 2:1 (56/28) via the `load0_mbps` axis; each
+// bundle carries web requests plus one backlogged Cubic flow. The paper
+// reports each bundle observing improved median FCT relative to the status
+// quo regardless of the split, without starving each other.
+#include <string>
+
+#include "src/metrics/fct.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/ideal_fct.h"
+#include "src/topo/scenario.h"
+#include "src/util/check.h"
+
+namespace bundler {
+namespace runner {
+namespace {
+
+TrialResult RunTrial(const TrialPoint& point) {
+  bool bundler_on = point.variant == "bundler";
+  BUNDLER_CHECK_MSG(bundler_on || point.variant == "status_quo",
+                    "unknown fig13 variant '%s'", point.variant.c_str());
+  double load0 = point.Param("load0_mbps");
+  double load1 = kFig13AggregateLoadMbps - load0;
+
+  ExperimentConfig cfg = PaperExperimentDefaults(bundler_on, point.seed);
+  cfg.net.num_bundles = 2;
+  cfg.bundle_web_load = {Rate::Mbps(load0), Rate::Mbps(load1)};
+  cfg.bundle_bulk_flows = 1;
+  Experiment e(cfg);
+  e.Run();
+
+  IdealFctFn ideal_fn = SharedIdealFctFn(cfg.net.bottleneck_rate, cfg.net.rtt, cfg.host_cc);
+
+  TrialResult r;
+  for (int b = 0; b < 2; ++b) {
+    std::string suffix = "_b" + std::to_string(b);
+    QuantileEstimator q = e.fct(b)->Slowdowns(ideal_fn, e.MeasuredRequests());
+    r.samples["slowdown" + suffix] = q.samples();
+    r.scalars["median_slowdown" + suffix] = q.empty() ? 0.0 : q.Median();
+    r.scalars["tput_mbps" + suffix] =
+        e.net()
+            ->bundle_rate_meter(b)
+            ->AverageRate(TimePoint::Zero() + cfg.warmup,
+                          TimePoint::Zero() + cfg.duration)
+            .Mbps();
+  }
+  return r;
+}
+
+}  // namespace
+
+void RegisterFig13CompetingBundles(ScenarioRegistry* registry) {
+  ScenarioSpec spec;
+  spec.name = "fig13_competing_bundles";
+  spec.summary =
+      "Fig 13: two competing bundles (84 Mbit/s aggregate, splits 1:1 and "
+      "2:1); each bundle should beat its StatusQuo median FCT";
+  spec.variants = {"status_quo", "bundler"};
+  spec.axes = {{"load0_mbps", {42, 56}}};
+  spec.default_trials = 3;
+  registry->Register(std::move(spec), RunTrial);
+}
+
+}  // namespace runner
+}  // namespace bundler

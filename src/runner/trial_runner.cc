@@ -1,0 +1,81 @@
+#include "src/runner/trial_runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+namespace runner {
+
+TrialRunner::TrialRunner(RunnerOptions options) : options_(std::move(options)) {
+  if (options_.threads < 1) {
+    options_.threads = 1;
+  }
+}
+
+std::vector<TrialResult> TrialRunner::Run(const Scenario& scenario,
+                                          const std::vector<TrialPoint>& plan) {
+  std::vector<TrialResult> results(plan.size());
+  if (plan.empty()) {
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex log_mu;
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= plan.size()) {
+        return;
+      }
+      const TrialPoint& point = plan[i];
+      try {
+        results[i] = scenario.run(point);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "trial %d (%s seed=%llu) failed: %s\n", point.trial_index,
+                     point.variant.c_str(),
+                     static_cast<unsigned long long>(point.seed), e.what());
+        std::abort();
+      }
+      size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.progress) {
+        std::lock_guard<std::mutex> lock(log_mu);
+        std::fprintf(stderr, "[%zu/%zu] %s variant=%s seed=%llu done\n", finished,
+                     plan.size(), scenario.spec.name.c_str(), point.variant.c_str(),
+                     static_cast<unsigned long long>(point.seed));
+      }
+    }
+  };
+
+  int threads = options_.threads;
+  if (static_cast<size_t>(threads) > plan.size()) {
+    threads = static_cast<int>(plan.size());
+  }
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return results;
+}
+
+std::vector<TrialResult> TrialRunner::Run(const Scenario& scenario) {
+  return Run(scenario, ExpandTrials(scenario.spec, options_.trials));
+}
+
+}  // namespace runner
+}  // namespace bundler

@@ -1,0 +1,46 @@
+// Executes an expanded trial plan on a worker thread pool. Each trial owns an
+// independent Simulator (the simulation core has no shared mutable state), so
+// trials are embarrassingly parallel; results land in a vector indexed by
+// plan position, which makes every downstream aggregate independent of the
+// thread count and of scheduling order.
+#ifndef SRC_RUNNER_TRIAL_RUNNER_H_
+#define SRC_RUNNER_TRIAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runner/scenario.h"
+
+namespace bundler {
+namespace runner {
+
+struct RunnerOptions {
+  int threads = 1;
+  int trials = 0;        // <= 0: use spec.default_trials
+  bool progress = false;  // per-trial completion lines on stderr
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(RunnerOptions options);
+
+  // Runs every trial in `plan` through `scenario.run`. The returned vector is
+  // ordered exactly like `plan` regardless of thread interleaving. Aborts if
+  // a trial throws (the plan is an experiment description; a failing trial is
+  // a bug, not data).
+  std::vector<TrialResult> Run(const Scenario& scenario,
+                               const std::vector<TrialPoint>& plan);
+
+  // Convenience: expand + run.
+  std::vector<TrialResult> Run(const Scenario& scenario);
+
+  const RunnerOptions& options() const { return options_; }
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace runner
+}  // namespace bundler
+
+#endif  // SRC_RUNNER_TRIAL_RUNNER_H_

@@ -41,6 +41,18 @@ IdealFctFn IdealFctCache::Fn() {
   return [this](int64_t size) { return Get(size); };
 }
 
+ExperimentConfig PaperExperimentDefaults(bool bundler_on, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.net.bottleneck_rate = Rate::Mbps(96);
+  cfg.net.rtt = TimeDelta::Millis(50);
+  cfg.net.bundler_enabled = bundler_on;
+  cfg.bundle_web_load = {Rate::Mbps(84)};
+  cfg.duration = TimeDelta::Seconds(60);
+  cfg.warmup = TimeDelta::Seconds(10);
+  cfg.seed = seed;
+  return cfg;
+}
+
 Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   net_ = std::make_unique<Dumbbell>(&sim_, config_.net);
   static const SizeCdf kCdf = SizeCdf::InternetCoreRouter();

@@ -51,6 +51,12 @@ struct ExperimentConfig {
   HostCcType cross_cc = HostCcType::kCubic;
 };
 
+// The paper's default emulation (§7.1), scaled in duration only: 96 Mbit/s
+// bottleneck, 50 ms RTT, 84 Mbit/s offered web load, endhost Cubic, sendbox
+// Copa + Nimbus detection, SFQ scheduling. Callers override fields as their
+// figure or scenario requires.
+ExperimentConfig PaperExperimentDefaults(bool bundler_on, uint64_t seed = 1);
+
 // Owns everything needed for one run.
 class Experiment {
  public:

@@ -1,0 +1,277 @@
+// Unit tests for the experiment orchestration subsystem (src/runner): spec
+// expansion (sweep grid x seeds), thread-count-independent execution and
+// serialization, aggregation math (percentiles / confidence intervals), and
+// the built-in scenario registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/scenario.h"
+#include "src/runner/trial_runner.h"
+#include "src/topo/scenario.h"
+
+namespace bundler {
+namespace runner {
+namespace {
+
+ScenarioSpec TwoAxisSpec() {
+  ScenarioSpec spec;
+  spec.name = "test_two_axis";
+  spec.variants = {"x", "y"};
+  spec.axes = {{"a", {1, 2}}, {"b", {10, 20, 30}}};
+  spec.default_trials = 2;
+  spec.seed_base = 5;
+  return spec;
+}
+
+TEST(ExpandTrialsTest, CountsAndOrdering) {
+  ScenarioSpec spec = TwoAxisSpec();
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 0);
+  // 2 variants x (2 x 3) grid x 2 seeds.
+  ASSERT_EQ(plan.size(), 24u);
+
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].trial_index, static_cast<int>(i));
+  }
+  // Variants outermost.
+  EXPECT_EQ(plan.front().variant, "x");
+  EXPECT_EQ(plan[11].variant, "x");
+  EXPECT_EQ(plan[12].variant, "y");
+  EXPECT_EQ(plan.back().variant, "y");
+  // Seeds innermost: consecutive slots differ only in seed.
+  EXPECT_EQ(plan[0].seed, 5u);
+  EXPECT_EQ(plan[1].seed, 6u);
+  EXPECT_EQ(plan[0].params, plan[1].params);
+  // First axis outermost, second axis next: cells iterate b fastest.
+  EXPECT_DOUBLE_EQ(plan[0].Param("a"), 1);
+  EXPECT_DOUBLE_EQ(plan[0].Param("b"), 10);
+  EXPECT_DOUBLE_EQ(plan[2].Param("b"), 20);
+  EXPECT_DOUBLE_EQ(plan[4].Param("b"), 30);
+  EXPECT_DOUBLE_EQ(plan[6].Param("a"), 2);
+  EXPECT_DOUBLE_EQ(plan[6].Param("b"), 10);
+}
+
+TEST(ExpandTrialsTest, TrialOverrideAndNoAxes) {
+  ScenarioSpec spec;
+  spec.name = "test_plain";
+  spec.default_trials = 3;
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_TRUE(plan[0].params.empty());
+  EXPECT_EQ(plan[4].seed, 5u);
+  EXPECT_EQ(plan[0].variant, "default");
+}
+
+// Deterministic synthetic trial: metrics are pure functions of the point.
+TrialResult SyntheticTrial(const TrialPoint& p) {
+  double base = p.Param("a") * 100 + static_cast<double>(p.seed);
+  if (p.variant == "y") {
+    base += 1000;
+  }
+  TrialResult r;
+  r.scalars["base"] = base;
+  std::vector<double> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back(base + i);
+  }
+  r.samples["dist"] = samples;
+  return r;
+}
+
+ScenarioSpec SyntheticSpec() {
+  ScenarioSpec spec;
+  spec.name = "test_synth";
+  spec.variants = {"x", "y"};
+  spec.axes = {{"a", {1, 2, 3}}};
+  spec.default_trials = 4;
+  return spec;
+}
+
+TEST(TrialRunnerTest, ResultsOrderedLikePlanRegardlessOfThreads) {
+  Scenario scenario{SyntheticSpec(), SyntheticTrial};
+  std::vector<TrialPoint> plan = ExpandTrials(scenario.spec, 0);
+  for (int threads : {1, 4, 7}) {
+    RunnerOptions options;
+    options.threads = threads;
+    TrialRunner runner(options);
+    std::vector<TrialResult> results = runner.Run(scenario, plan);
+    ASSERT_EQ(results.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(results[i].scalars.at("base"),
+                SyntheticTrial(plan[i]).scalars.at("base"))
+          << "threads=" << threads << " trial=" << i;
+    }
+  }
+}
+
+TEST(TrialRunnerTest, JsonAndCsvByteIdenticalAcrossThreadCounts) {
+  Scenario scenario{SyntheticSpec(), SyntheticTrial};
+  std::vector<TrialPoint> plan = ExpandTrials(scenario.spec, 0);
+
+  auto render = [&](int threads) {
+    RunnerOptions options;
+    options.threads = threads;
+    TrialRunner runner(options);
+    ScenarioSummary summary =
+        Aggregate(scenario.spec, plan, runner.Run(scenario, plan));
+    return std::pair{ToJson(summary), ToCsv(summary)};
+  };
+  auto [json1, csv1] = render(1);
+  for (int threads : {2, 4, 7}) {
+    auto [json_n, csv_n] = render(threads);
+    EXPECT_EQ(json1, json_n) << "threads=" << threads;
+    EXPECT_EQ(csv1, csv_n) << "threads=" << threads;
+  }
+  EXPECT_NE(json1.find("\"scenario\": \"test_synth\""), std::string::npos);
+}
+
+// End-to-end determinism through the real simulator: a small two-variant
+// dumbbell experiment must serialize identically no matter the thread count.
+TrialResult TinyExperimentTrial(const TrialPoint& p) {
+  ExperimentConfig cfg = PaperExperimentDefaults(p.variant == "bundler", p.seed);
+  cfg.bundle_web_load = {Rate::Mbps(30)};
+  cfg.duration = TimeDelta::Seconds(3);
+  cfg.warmup = TimeDelta::Seconds(1);
+  Experiment e(cfg);
+  e.Run();
+  TrialResult r;
+  r.scalars["completed"] = static_cast<double>(e.fct()->completed());
+  r.samples["fct_s"] = e.fct()->Fcts(e.MeasuredRequests()).samples();
+  return r;
+}
+
+TEST(TrialRunnerTest, RealSimulationDeterministicAcrossThreadCounts) {
+  ScenarioSpec spec;
+  spec.name = "test_tiny_experiment";
+  spec.variants = {"status_quo", "bundler"};
+  spec.default_trials = 2;
+  Scenario scenario{spec, TinyExperimentTrial};
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 0);
+
+  auto render = [&](int threads) {
+    RunnerOptions options;
+    options.threads = threads;
+    TrialRunner runner(options);
+    return ToJson(Aggregate(spec, plan, runner.Run(scenario, plan)));
+  };
+  std::string json1 = render(1);
+  std::string json4 = render(4);
+  EXPECT_EQ(json1, json4);
+  // Sanity: the experiment actually completed requests.
+  EXPECT_EQ(json1.find("\"completed\": {\"n\": 2, \"mean\": 0"), std::string::npos);
+}
+
+TEST(AggregateTest, ScalarStatsAcrossSeeds) {
+  ScenarioSpec spec;
+  spec.name = "test_agg";
+  spec.default_trials = 4;
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 0);
+  std::vector<TrialResult> results(4);
+  const double values[4] = {1, 2, 3, 10};
+  for (int i = 0; i < 4; ++i) {
+    results[static_cast<size_t>(i)].scalars["m"] = values[i];
+  }
+  ScenarioSummary summary = Aggregate(spec, plan, results);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  const ScalarStat& s = summary.cells[0].scalars.at("m");
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  // Sample stddev of {1,2,3,10} = sqrt(50/3); CI = 1.96 * s / sqrt(4).
+  double stddev = std::sqrt(50.0 / 3.0);
+  EXPECT_NEAR(s.stddev, stddev, 1e-12);
+  EXPECT_NEAR(s.ci95_half, 1.96 * stddev / 2.0, 1e-12);
+}
+
+TEST(AggregateTest, SamplePoolingAndPercentiles) {
+  ScenarioSpec spec;
+  spec.name = "test_pool";
+  spec.default_trials = 2;
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 0);
+  std::vector<TrialResult> results(2);
+  // Pooled: 1..100. Quantile(q) interpolates position q * (n - 1).
+  for (int i = 1; i <= 100; ++i) {
+    results[i % 2].samples["d"].push_back(i);
+  }
+  ScenarioSummary summary = Aggregate(spec, plan, results);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  const SampleStat& s = summary.cells[0].samples.at("d");
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.p25, 25.75);
+  EXPECT_DOUBLE_EQ(s.p75, 75.25);
+  EXPECT_DOUBLE_EQ(s.p95, 95.05);
+  EXPECT_DOUBLE_EQ(s.p99, 99.01);
+}
+
+TEST(AggregateTest, CellsFollowPlanOrderAndFindCell) {
+  ScenarioSpec spec = TwoAxisSpec();
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 0);
+  std::vector<TrialResult> results(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    results[i].scalars["idx"] = static_cast<double>(i);
+  }
+  ScenarioSummary summary = Aggregate(spec, plan, results);
+  // 2 variants x 6 grid cells.
+  ASSERT_EQ(summary.cells.size(), 12u);
+  EXPECT_EQ(summary.trials, 2);
+  for (const CellSummary& cell : summary.cells) {
+    EXPECT_EQ(cell.trials, 2u);
+  }
+  const CellSummary* cell = FindCell(summary, "y", {{"a", 2}, {"b", 30}});
+  ASSERT_NE(cell, nullptr);
+  // Last cell of the plan: trials 22 and 23.
+  EXPECT_DOUBLE_EQ(cell->scalars.at("idx").mean, 22.5);
+  EXPECT_EQ(FindCell(summary, "nope"), nullptr);
+  EXPECT_EQ(FindCell(summary, "y", {{"a", 99}}), nullptr);
+}
+
+TEST(ResultSinkTest, JsonHandlesNonFiniteAndEmpty) {
+  ScenarioSpec spec;
+  spec.name = "test_nonfinite";
+  spec.default_trials = 1;
+  std::vector<TrialPoint> plan = ExpandTrials(spec, 0);
+  std::vector<TrialResult> results(1);
+  results[0].scalars["bad"] = std::nan("");
+  ScenarioSummary summary = Aggregate(spec, plan, results);
+  std::string json = ToJson(summary);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": null"), std::string::npos);
+
+  ScenarioSummary empty;
+  empty.scenario = "empty";
+  EXPECT_NE(ToJson(empty).find("\"cells\": []"), std::string::npos);
+}
+
+TEST(RegistryTest, BuiltinScenariosRegisteredAndListed) {
+  RegisterBuiltinScenarios();
+  RegisterBuiltinScenarios();  // idempotent
+  ScenarioRegistry& registry = ScenarioRegistry::Global();
+  ASSERT_NE(registry.Find("fig09_fct"), nullptr);
+  ASSERT_NE(registry.Find("fig10_cross_traffic"), nullptr);
+  ASSERT_NE(registry.Find("fig13_competing_bundles"), nullptr);
+  EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);
+
+  const Scenario* fig13 = registry.Find("fig13_competing_bundles");
+  ASSERT_EQ(fig13->spec.axes.size(), 1u);
+  EXPECT_EQ(fig13->spec.axes[0].name, "load0_mbps");
+
+  std::vector<const Scenario*> all = registry.List();
+  ASSERT_GE(all.size(), 3u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->spec.name, all[i]->spec.name);
+  }
+}
+
+}  // namespace
+}  // namespace runner
+}  // namespace bundler
