@@ -1,10 +1,14 @@
 // Figure 11: bundled traffic against short-lived (web mix) cross traffic.
-// The bundle offers a fixed 48 Mbit/s of the §7.1 web workload at a 96 Mbit/s
-// bottleneck while unbundled web-mix cross traffic sweeps from 6 to 42
-// Mbit/s. The paper reports Status Quo FCTs rising steadily with cross load
-// (aggregate queueing) while Bundler keeps slowdowns low with both Copa and
-// Nimbus (BasicDelay) rate control, at no long-term throughput cost.
-#include <cstdio>
+// The bundle offers a fixed 48 Mbit/s of the §7.1 web workload at a
+// 96 Mbit/s bottleneck while unbundled web-mix cross traffic sweeps from 6
+// to 42 Mbit/s. The paper reports Status Quo FCTs rising steadily with
+// cross load (aggregate queueing) while Bundler keeps slowdowns low with
+// both Copa and Nimbus (BasicDelay) rate control, at no long-term
+// throughput cost.
+//
+// Thin wrapper over the "fig11_web_cross_sweep" registered scenario
+// (src/runner): the runner expands variants x the cross_mbps sweep x seeds,
+// executes trials in parallel, and pools slowdown samples across seeds.
 #include <string>
 #include <vector>
 
@@ -13,57 +17,46 @@
 namespace bundler {
 namespace {
 
-struct Variant {
-  std::string name;
-  bool bundler;
-  BundleCcType cc;
-};
-
 void Run() {
   bench::PrintHeader(
       "Figure 11 — web-mix cross traffic sweep (bundle fixed at 48 Mbit/s)",
       "StatusQuo FCTs increase steadily with cross load; Bundler (Copa and "
       "Nimbus BasicDelay) stays low; bundle long-term throughput unaffected");
 
-  const std::vector<Variant> variants = {
-      {"StatusQuo", false, BundleCcType::kCopa},
-      {"Bundler/Copa", true, BundleCcType::kCopa},
-      {"Bundler/Nimbus", true, BundleCcType::kBasicDelay},
+  runner::ScenarioSummary summary =
+      bench::RunRegisteredScenario("fig11_web_cross_sweep");
+
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"status_quo", "StatusQuo"},
+      {"bundler_copa", "Bundler/Copa"},
+      {"bundler_nimbus", "Bundler/Nimbus"},
   };
   const std::vector<double> cross_mbps = {6, 12, 18, 24, 30, 36, 42};
-
-  IdealFctCache ideal(Rate::Mbps(96), TimeDelta::Millis(50), HostCcType::kCubic);
-  IdealFctFn ideal_fn = ideal.Fn();
 
   Table table({"cross load (Mbit/s)", "config", "median slowdown", "p75", "p99",
                "bundle tput (Mbit/s)", "n"});
   double sq_first = 0, sq_last = 0, copa_last = 0, nimbus_last = 0;
 
   for (double cross : cross_mbps) {
-    for (const Variant& var : variants) {
-      ExperimentConfig cfg = bench::PaperScenario(var.bundler);
-      cfg.bundle_web_load = {Rate::Mbps(48)};
-      cfg.cross_web_load = Rate::Mbps(cross);
-      cfg.net.sendbox.cc = var.cc;
-      Experiment e(cfg);
-      e.Run();
-      bench::SlowdownSummary s =
-          bench::Summarize(*e.fct(), ideal_fn, e.MeasuredRequests());
-      Rate tput = e.net()->bundle_rate_meter()->AverageRate(
-          TimePoint::Zero() + cfg.warmup, TimePoint::Zero() + cfg.duration);
-      table.AddRow({Table::Num(cross, 0), var.name, Table::Num(s.median),
-                    Table::Num(s.p75), Table::Num(s.p99), Table::Num(tput.Mbps(), 1),
+    for (const auto& [key, label] : variants) {
+      const runner::CellSummary* cell =
+          runner::FindCell(summary, key, {{"cross_mbps", cross}});
+      BUNDLER_CHECK(cell != nullptr);
+      const runner::SampleStat& s = cell->samples.at("slowdown_all");
+      double tput = cell->scalars.at("bundle_tput_mbps").mean;
+      table.AddRow({Table::Num(cross, 0), label, Table::Num(s.median),
+                    Table::Num(s.p75), Table::Num(s.p99), Table::Num(tput, 1),
                     std::to_string(s.n)});
-      if (var.name == "StatusQuo" && cross == cross_mbps.front()) {
+      if (key == "status_quo" && cross == cross_mbps.front()) {
         sq_first = s.median;
       }
-      if (var.name == "StatusQuo" && cross == cross_mbps.back()) {
+      if (key == "status_quo" && cross == cross_mbps.back()) {
         sq_last = s.median;
       }
-      if (var.name == "Bundler/Copa" && cross == cross_mbps.back()) {
+      if (key == "bundler_copa" && cross == cross_mbps.back()) {
         copa_last = s.median;
       }
-      if (var.name == "Bundler/Nimbus" && cross == cross_mbps.back()) {
+      if (key == "bundler_nimbus" && cross == cross_mbps.back()) {
         nimbus_last = s.median;
       }
     }

@@ -5,7 +5,11 @@
 // relative to their fair share under Status Quo — 12% lower with 10
 // competing flows up to 22% lower with 50 — because the sendbox holds back a
 // small probing queue even in pass-through mode (§5.1).
-#include <cstdio>
+//
+// Thin wrapper over the "fig12_elastic_cross_sweep" registered scenario
+// (src/runner): the runner expands variants x the competing_flows sweep x
+// seeds and executes trials in parallel.
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -19,31 +23,25 @@ void Run() {
       "bundle throughput 12% lower than StatusQuo at 10 competing flows, "
       "22% lower at 50 (18% average)");
 
-  const std::vector<int> competing = {10, 30, 50};
+  runner::ScenarioSummary summary =
+      bench::RunRegisteredScenario("fig12_elastic_cross_sweep");
+
+  const std::vector<double> competing = {10, 30, 50};
   Table table({"competing flows", "StatusQuo bundle (Mbit/s)",
                "Bundler bundle (Mbit/s)", "reduction"});
 
   double reductions = 0;
-  for (int n : competing) {
-    double tput[2] = {0, 0};
-    for (int with_bundler = 0; with_bundler <= 1; ++with_bundler) {
-      ExperimentConfig cfg = bench::PaperScenario(with_bundler == 1);
-      cfg.bundle_web_load = {Rate::Zero()};
-      cfg.bundle_bulk_flows = 20;
-      cfg.cross_bulk_flows = n;
-      cfg.duration = TimeDelta::Seconds(60);
-      cfg.warmup = TimeDelta::Seconds(15);
-      Experiment e(cfg);
-      e.Run();
-      tput[with_bundler] = e.net()
-                               ->bundle_rate_meter()
-                               ->AverageRate(TimePoint::Zero() + cfg.warmup,
-                                             TimePoint::Zero() + cfg.duration)
-                               .Mbps();
-    }
-    double reduction = tput[0] > 0 ? (1 - tput[1] / tput[0]) * 100 : 0;
+  for (double n : competing) {
+    const runner::CellSummary* sq =
+        runner::FindCell(summary, "status_quo", {{"competing_flows", n}});
+    const runner::CellSummary* bd =
+        runner::FindCell(summary, "bundler", {{"competing_flows", n}});
+    BUNDLER_CHECK(sq != nullptr && bd != nullptr);
+    double sq_tput = sq->scalars.at("bundle_tput_mbps").mean;
+    double bd_tput = bd->scalars.at("bundle_tput_mbps").mean;
+    double reduction = sq_tput > 0 ? (1 - bd_tput / sq_tput) * 100 : 0;
     reductions += reduction;
-    table.AddRow({std::to_string(n), Table::Num(tput[0], 1), Table::Num(tput[1], 1),
+    table.AddRow({Table::Num(n, 0), Table::Num(sq_tput, 1), Table::Num(bd_tput, 1),
                   Table::Num(reduction, 0) + "%"});
   }
   table.Print();

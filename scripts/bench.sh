@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Performance gate: builds Release, runs the micro_datapath benchmark, and
+# emits BENCH_datapath.json (events/sec, per-op ns, allocs/op) so successive
+# PRs have a perf trajectory to compare against.
+#
+# Fails if the event engine's schedule+dispatch microbenchmark is not at
+# least BENCH_MIN_SPEEDUP (default 2.0) times the legacy std::function
+# queue's events/sec, or if the engine allocates on the hot path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-2.0}"
+OUT="${BENCH_OUT:-BENCH_datapath.json}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"${JOBS}" --target micro_datapath
+
+# micro_datapath exits nonzero on its own if the engine allocated per event.
+./build-release/bench/micro_datapath --json "${OUT}"
+
+SPEEDUP="$(python3 -c "import json; print(json.load(open('${OUT}'))['schedule_dispatch_speedup_vs_legacy'])" 2>/dev/null ||
+  grep -o '"schedule_dispatch_speedup_vs_legacy": [0-9.]*' "${OUT}" | grep -o '[0-9.]*$')"
+
+echo "schedule+dispatch speedup vs legacy queue: ${SPEEDUP}x (gate: >= ${MIN_SPEEDUP}x)"
+awk -v s="${SPEEDUP}" -v min="${MIN_SPEEDUP}" 'BEGIN { exit !(s >= min) }' || {
+  echo "bench.sh: FAIL — speedup ${SPEEDUP}x below gate ${MIN_SPEEDUP}x" >&2
+  exit 1
+}
+echo "bench.sh: OK (wrote ${OUT})"

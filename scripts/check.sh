@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entrypoint: configure + build + unit tests + one smoke scenario run,
-# including the thread-count determinism guarantee (same seed => byte-identical
-# aggregate JSON regardless of --threads).
+# CI entrypoint: configure + build + unit tests (plain and ASan+UBSan),
+# plus one smoke scenario run, including the thread-count determinism
+# guarantee (same seed => byte-identical aggregate JSON regardless of
+# --threads). Set CHECK_SKIP_SANITIZERS=1 to skip the sanitizer pass (e.g.
+# on machines without libasan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +12,13 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
+
+if [[ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "--- ASan+UBSan test pass"
+  cmake -B build-asan -S . -DBUNDLER_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j"${JOBS}"
+  (cd build-asan && ctest --output-on-failure -j"${JOBS}")
+fi
 
 echo "--- smoke scenario: fig09_fct (2 trials, 2 threads)"
 ./build/bundler_run --scenario fig09_fct --trials 2 --threads 2 \

@@ -75,7 +75,10 @@ Sendbox::Sendbox(Simulator* sim, const Config& config, PacketHandler* egress)
   BUNDLER_CHECK(egress_ != nullptr);
   BUNDLER_CHECK(epoch_pkts_ != 0 && (epoch_pkts_ & (epoch_pkts_ - 1)) == 0);
   mode_log_.emplace_back(sim_->now(), mode_);
-  tick_timer_ = sim_->Schedule(config_.control_interval, [this]() { ControlTick(); });
+  // Periodic slot: the engine re-arms it in place every control interval for
+  // the sendbox's lifetime; the id stays valid until the destructor cancels.
+  tick_timer_ = sim_->SchedulePeriodic(config_.control_interval, config_.control_interval,
+                                       [this]() { ControlTick(); });
 }
 
 Sendbox::~Sendbox() {
@@ -237,7 +240,6 @@ void Sendbox::SendEpochCtl() {
 
 void Sendbox::ControlTick() {
   TimePoint now = sim_->now();
-  tick_timer_ = sim_->Schedule(config_.control_interval, [this]() { ControlTick(); });
 
   double tick_bps = static_cast<double>(bytes_sent_ - bytes_sent_at_last_tick_) * 8.0 /
                     config_.control_interval.ToSeconds();

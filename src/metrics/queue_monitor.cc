@@ -15,7 +15,7 @@ QdiscSampler::QdiscSampler(Simulator* sim, const Qdisc* qdisc, TimeDelta interva
   BUNDLER_CHECK(sim_ != nullptr);
   BUNDLER_CHECK(qdisc_ != nullptr);
   BUNDLER_CHECK(interval_.nanos() > 0);
-  timer_ = sim_->Schedule(interval_, [this]() { Tick(); });
+  timer_ = sim_->SchedulePeriodic(interval_, interval_, [this]() { Tick(); });
 }
 
 QdiscSampler::~QdiscSampler() {
@@ -25,7 +25,6 @@ QdiscSampler::~QdiscSampler() {
 }
 
 void QdiscSampler::Tick() {
-  timer_ = sim_->Schedule(interval_, [this]() { Tick(); });
   TimePoint now = sim_->now();
   double b = static_cast<double>(qdisc_->bytes());
   bytes_.Add(now, b);

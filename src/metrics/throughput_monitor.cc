@@ -14,7 +14,7 @@ CounterSampler::CounterSampler(Simulator* sim, TimeDelta interval,
   BUNDLER_CHECK(counter_ != nullptr);
   last_value_ = counter_();
   cumulative_.Add(last_time_, static_cast<double>(last_value_));
-  timer_ = sim_->Schedule(interval_, [this]() { Tick(); });
+  timer_ = sim_->SchedulePeriodic(interval_, interval_, [this]() { Tick(); });
 }
 
 CounterSampler::~CounterSampler() {
@@ -24,7 +24,6 @@ CounterSampler::~CounterSampler() {
 }
 
 void CounterSampler::Tick() {
-  timer_ = sim_->Schedule(interval_, [this]() { Tick(); });
   TimePoint now = sim_->now();
   int64_t value = counter_();
   double mbps = static_cast<double>(value - last_value_) * 8.0 /

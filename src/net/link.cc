@@ -48,6 +48,9 @@ void Link::MaybeStartTransmission() {
     obs->OnDequeue(*pkt, queue_delay, sim_->now());
   }
   TimeDelta tx = rate_.TransmitTime(pkt->size_bytes);
+  // The in-flight packet rides inside the event's inline storage (sized for
+  // exactly this: a Packet plus the owning pointer), so per-hop scheduling
+  // does not allocate.
   sim_->Schedule(tx, [this, p = std::move(*pkt)]() mutable { OnTransmitDone(std::move(p)); });
 }
 

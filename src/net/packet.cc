@@ -1,6 +1,8 @@
 #include "src/net/packet.h"
 
 #include <cstdio>
+#include <cstring>
+#include <type_traits>
 
 namespace bundler {
 namespace {
@@ -26,6 +28,16 @@ std::string Packet::ToString() const {
                 static_cast<long long>(seq), size_bytes, SiteOf(key.src), HostOf(key.src),
                 key.src_port, SiteOf(key.dst), HostOf(key.dst), key.dst_port);
   return buf;
+}
+
+Packet Packet::Clone() const {
+  // Byte copy so new fields can never be silently dropped; the copy ctor is
+  // only deleted to keep the datapath move-only, not because copying is
+  // unsafe.
+  static_assert(std::is_trivially_copyable_v<Packet>);
+  Packet p;
+  std::memcpy(&p, this, sizeof(Packet));
+  return p;
 }
 
 Packet MakeDataPacket(uint64_t flow_id, const FlowKey& key, int64_t seq, uint32_t size_bytes) {

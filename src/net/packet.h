@@ -1,7 +1,11 @@
 // Packet model. One struct covers every message type in the simulation:
 // transport data segments, transport ACKs, and Bundler's two out-of-band
 // control messages (congestion ACK feedback and epoch-size updates). Packets
-// move by value; the struct is deliberately flat and cheap to copy.
+// move by value and are move-only: the struct is flat but ~176 bytes, and a
+// packet traverses many layers per hop (handler -> qdisc -> shaper -> link),
+// so accidental copies silently double the datapath's per-packet cost. The
+// rare legitimate duplication (tests, fan-out experiments) must say
+// Clone() explicitly.
 #ifndef SRC_NET_PACKET_H_
 #define SRC_NET_PACKET_H_
 
@@ -48,6 +52,16 @@ inline constexpr uint32_t kAckBytes = 40;
 inline constexpr uint32_t kControlBytes = 40;     // Bundler out-of-band messages
 
 struct Packet {
+  Packet() = default;
+  Packet(Packet&&) = default;
+  Packet& operator=(Packet&&) = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  // Explicit duplication for the few places that genuinely need two copies
+  // (observer snapshots in tests, fan-out). The hot path never clones.
+  Packet Clone() const;
+
   uint64_t id = 0;       // globally unique, for debugging
   uint64_t flow_id = 0;  // simulation-level flow identity (endpoint demux)
   PacketType type = PacketType::kData;

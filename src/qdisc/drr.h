@@ -46,7 +46,12 @@ class Drr : public Qdisc {
 
   Config config_;
   std::unordered_map<uint64_t, size_t> flow_to_slot_;
-  std::vector<FlowQueue> slots_;
+  // deque: grows without relocating existing slots. A vector would not
+  // compile: FlowQueue's implicit move ctor is not noexcept (deque's move
+  // ctor may allocate), so vector reallocation picks the copy ctor — which
+  // deque declares unconditionally but cannot instantiate for move-only
+  // Packet elements.
+  std::deque<FlowQueue> slots_;
   std::vector<size_t> free_slots_;
   std::unordered_map<size_t, uint64_t> slot_to_flow_;
   std::list<size_t> active_;

@@ -84,12 +84,16 @@ void Shaper::Enqueue(Packet pkt) {
 void Shaper::SetRate(Rate rate) {
   bucket_.SetRate(rate, sim_->now());
   // A rate increase may make the head transmittable earlier than the armed
-  // timer; re-evaluate.
-  if (pending_timer_ != kInvalidEventId) {
+  // timer; re-evaluate. The armed slot is kept and moved in place (fresh
+  // FIFO ordering, same as cancel+push, without the churn).
+  rearm_pending_ = pending_timer_ != kInvalidEventId;
+  Pump();
+  if (rearm_pending_) {
+    // The pump no longer needs a wakeup (queue drained or head sendable).
     sim_->Cancel(pending_timer_);
     pending_timer_ = kInvalidEventId;
+    rearm_pending_ = false;
   }
-  Pump();
 }
 
 void Shaper::Pump() {
@@ -105,11 +109,14 @@ void Shaper::Pump() {
     }
     int64_t head_bytes = head->size_bytes;
     if (!bucket_.CanSend(head_bytes, now)) {
-      if (pending_timer_ == kInvalidEventId) {
-        TimeDelta wait = bucket_.TimeUntilAvailable(head_bytes, now);
-        if (wait.IsInfinite()) {
-          break;  // rate is zero; SetRate will restart the pump
-        }
+      TimeDelta wait = bucket_.TimeUntilAvailable(head_bytes, now);
+      if (wait.IsInfinite()) {
+        break;  // rate is zero; SetRate will restart the pump
+      }
+      if (rearm_pending_) {
+        sim_->Reschedule(pending_timer_, now + wait);
+        rearm_pending_ = false;
+      } else if (pending_timer_ == kInvalidEventId) {
         pending_timer_ = sim_->Schedule(wait, [this]() {
           pending_timer_ = kInvalidEventId;
           Pump();

@@ -71,6 +71,9 @@ class Shaper {
   TokenBucket bucket_;
   std::function<void(Packet)> out_;
   EventId pending_timer_ = kInvalidEventId;
+  // Set by SetRate while the armed wakeup awaits a fresh deadline; Pump
+  // consumes it via Reschedule instead of cancel+push.
+  bool rearm_pending_ = false;
   bool in_pump_ = false;
   uint64_t forwarded_packets_ = 0;
 };

@@ -8,6 +8,8 @@ void RegisterBuiltinScenarios() {
     ScenarioRegistry* registry = &ScenarioRegistry::Global();
     RegisterFig09Fct(registry);
     RegisterFig10CrossTraffic(registry);
+    RegisterFig11WebCrossSweep(registry);
+    RegisterFig12ElasticCrossSweep(registry);
     RegisterFig13CompetingBundles(registry);
     return true;
   }();

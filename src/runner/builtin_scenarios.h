@@ -22,6 +22,8 @@ inline constexpr double kFig13AggregateLoadMbps = 84;
 // RegisterBuiltinScenarios).
 void RegisterFig09Fct(ScenarioRegistry* registry);
 void RegisterFig10CrossTraffic(ScenarioRegistry* registry);
+void RegisterFig11WebCrossSweep(ScenarioRegistry* registry);
+void RegisterFig12ElasticCrossSweep(ScenarioRegistry* registry);
 void RegisterFig13CompetingBundles(ScenarioRegistry* registry);
 
 }  // namespace runner

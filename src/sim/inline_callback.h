@@ -1,0 +1,114 @@
+// Move-only type-erased void() callable with fixed inline storage and no
+// heap allocation, ever: scheduling an event costs a bounded move, not an
+// operator new. The capacity fits the largest hot-path capture in the tree —
+// a Link transmit/propagation event carrying a Packet (176 bytes) plus its
+// owner pointer. Oversized captures fail to compile (static_assert), which
+// keeps the no-allocation guarantee honest at every call site: to schedule
+// more state than fits, park it in the owning object and capture a pointer.
+#ifndef SRC_SIM_INLINE_CALLBACK_H_
+#define SRC_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bundler {
+
+class InlineCallback {
+ public:
+  static constexpr size_t kCapacity = 192;
+
+  InlineCallback() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(runtime/explicit): lambda -> callback
+    Emplace(std::forward<F>(f));
+  }
+
+  // Constructs the callable directly in inline storage (the Push hot path
+  // uses this to skip a temporary). Any previous callable must be gone.
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callback capture exceeds InlineCallback::kCapacity; shrink "
+                  "the capture (indirect through the owning object) rather "
+                  "than growing every event slot");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+    if constexpr (std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      // Trivial callables (the vast majority: lambdas over pointers, PODs,
+      // and Packets) move by plain memcpy and need no destructor — the
+      // manager indirection is skipped entirely.
+      manage_ = nullptr;
+    } else {
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            static_cast<Fn*>(self)->~Fn();
+            break;
+          case Op::kMoveFrom:  // move-construct *self from *other, then destroy
+            ::new (self) Fn(std::move(*static_cast<Fn*>(other)));
+            static_cast<Fn*>(other)->~Fn();
+            break;
+        }
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { MoveFrom(o); }
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMoveFrom };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void*, void*);
+
+  void MoveFrom(InlineCallback& o) {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kMoveFrom, storage_, o.storage_);
+    } else if (invoke_ != nullptr) {
+      // Trivial payload: the fixed-size copy beats a sized one (the length
+      // is a compile-time constant, so it vectorizes) and is always safe.
+      std::memcpy(storage_, o.storage_, kCapacity);
+    }
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_SIM_INLINE_CALLBACK_H_

@@ -6,15 +6,17 @@
 
 namespace bundler {
 
-EventId Simulator::Schedule(TimeDelta delay, EventQueue::Callback cb) {
-  BUNDLER_CHECK(delay >= TimeDelta::Zero());
-  return queue_.Push(now_ + delay, std::move(cb));
+EventId Simulator::SchedulePeriodic(TimeDelta first_delay, TimeDelta period,
+                                    EventQueue::Callback cb) {
+  BUNDLER_CHECK(first_delay >= TimeDelta::Zero());
+  BUNDLER_CHECK(period > TimeDelta::Zero());
+  return queue_.PushPeriodic(now_ + first_delay, period, std::move(cb));
 }
 
-EventId Simulator::ScheduleAt(TimePoint t, EventQueue::Callback cb) {
-  BUNDLER_CHECK_MSG(t >= now_, "scheduling into the past: %s < %s", t.ToString().c_str(),
-                    now_.ToString().c_str());
-  return queue_.Push(t, std::move(cb));
+bool Simulator::Reschedule(EventId id, TimePoint t) {
+  BUNDLER_CHECK_MSG(t >= now_, "rescheduling into the past: %s < %s",
+                    t.ToString().c_str(), now_.ToString().c_str());
+  return queue_.Reschedule(id, t);
 }
 
 void Simulator::RunUntil(TimePoint until) {
@@ -24,9 +26,9 @@ void Simulator::RunUntil(TimePoint until) {
     if (next > until) {
       break;
     }
-    auto cb = queue_.PopNext(&now_);
+    now_ = next;
     ++events_dispatched_;
-    cb();
+    queue_.DispatchHead();
   }
   if (now_ < until) {
     now_ = until;
@@ -36,9 +38,9 @@ void Simulator::RunUntil(TimePoint until) {
 void Simulator::RunAll() {
   stopped_ = false;
   while (!stopped_ && !queue_.Empty()) {
-    auto cb = queue_.PopNext(&now_);
+    now_ = queue_.NextTime();
     ++events_dispatched_;
-    cb();
+    queue_.DispatchHead();
   }
 }
 

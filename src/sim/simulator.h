@@ -1,12 +1,21 @@
 // Discrete-event simulator driver. Owns the clock and the event queue;
 // every network component schedules timers through it.
+//
+// Scheduling guide for layers (see README "Simulator core"):
+//  - One-shot work: Schedule/ScheduleAt. Slots are pooled and callbacks are
+//    inline (InlineCallback), so this never heap-allocates.
+//  - Steady-state timers (control ticks, samplers): SchedulePeriodic. The
+//    event re-arms in place each firing — no cancel/push churn.
+//  - Movable deadlines (RTO-style timers, shaper wakeups): keep the EventId
+//    and Reschedule/RescheduleAfter instead of Cancel + Schedule.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "src/sim/event_queue.h"
+#include "src/util/check.h"
 #include "src/util/time.h"
 
 namespace bundler {
@@ -19,10 +28,31 @@ class Simulator {
 
   TimePoint now() const { return now_; }
 
-  // Schedule `cb` to run after `delay` (>= 0) from now.
-  EventId Schedule(TimeDelta delay, EventQueue::Callback cb);
+  // Schedule `cb` to run after `delay` (>= 0) from now. Templated so the
+  // callable is constructed straight into the event slot (no intermediate
+  // callback object on the hot path).
+  template <typename F>
+  EventId Schedule(TimeDelta delay, F&& cb) {
+    BUNDLER_CHECK(delay >= TimeDelta::Zero());
+    return queue_.Push(now_ + delay, std::forward<F>(cb));
+  }
   // Schedule `cb` at absolute time `t` (>= now).
-  EventId ScheduleAt(TimePoint t, EventQueue::Callback cb);
+  template <typename F>
+  EventId ScheduleAt(TimePoint t, F&& cb) {
+    BUNDLER_CHECK_MSG(t >= now_, "scheduling into the past: %s < %s",
+                      t.ToString().c_str(), now_.ToString().c_str());
+    return queue_.Push(t, std::forward<F>(cb));
+  }
+  // Schedule `cb` every `period`, first firing after `first_delay`. The
+  // returned id stays valid across firings; Cancel stops the timer.
+  EventId SchedulePeriodic(TimeDelta first_delay, TimeDelta period,
+                           EventQueue::Callback cb);
+  // Move a pending event to a new deadline (>= now). Returns false when the
+  // event already fired or was cancelled (the id is then dead).
+  bool Reschedule(EventId id, TimePoint t);
+  bool RescheduleAfter(EventId id, TimeDelta delay) {
+    return Reschedule(id, now_ + delay);
+  }
   void Cancel(EventId id) { queue_.Cancel(id); }
 
   // Run until the queue drains or the clock would pass `until`.

@@ -89,6 +89,13 @@ class TcpSender : public PacketHandler {
   // RFC 6298 semantics: the timer tracks the *oldest* outstanding segment.
   // RestartRto moves the deadline (on ACKs of new data and on timeout
   // backoff); EnsureRtoArmed only starts it if idle (on transmissions).
+  // The armed event deliberately fires at its original deadline and re-arms
+  // lazily when the deadline moved, rather than Reschedule()-ing on every
+  // ACK: an ACK clearing timeout backoff can pull the deadline *earlier*
+  // than the armed event, and honoring that eagerly changes retransmit
+  // timing (the simulation's reference traces are pinned byte-for-byte).
+  // Under the inline-callback engine the lazy re-arm is allocation-free, so
+  // the pattern costs one pooled slot per spurious wake and nothing else.
   void RestartRto();
   void EnsureRtoArmed();
   // Tail loss probe (RFC 8985-style): if no ACK arrives for ~2 SRTT while

@@ -30,10 +30,10 @@ TEST(EpochHashTest, DeterministicAcrossCalls) {
 }
 
 TEST(EpochHashTest, SendboxAndReceiveboxAgree) {
-  // The hash must only read fields that survive the network: copying the
-  // packet (as links do) preserves the hash.
+  // The hash must only read fields that survive the network: duplicating the
+  // packet preserves the hash.
   Packet p = PacketWith(7);
-  Packet copy = p;
+  Packet copy = p.Clone();
   copy.queue_enter = TimePoint::FromNanos(123456);  // scratch field mutated in flight
   EXPECT_EQ(BoundaryHash(p), BoundaryHash(copy));
 }

@@ -272,6 +272,51 @@ TEST(RegistryTest, BuiltinScenariosRegisteredAndListed) {
   }
 }
 
+TEST(RegistryTest, SweepScenariosRegisteredWithAxes) {
+  RegisterBuiltinScenarios();
+  ScenarioRegistry& registry = ScenarioRegistry::Global();
+
+  const Scenario* fig11 = registry.Find("fig11_web_cross_sweep");
+  ASSERT_NE(fig11, nullptr);
+  ASSERT_EQ(fig11->spec.axes.size(), 1u);
+  EXPECT_EQ(fig11->spec.axes[0].name, "cross_mbps");
+  EXPECT_EQ(fig11->spec.axes[0].values.size(), 7u);
+  EXPECT_EQ(fig11->spec.variants.size(), 3u);
+
+  const Scenario* fig12 = registry.Find("fig12_elastic_cross_sweep");
+  ASSERT_NE(fig12, nullptr);
+  ASSERT_EQ(fig12->spec.axes.size(), 1u);
+  EXPECT_EQ(fig12->spec.axes[0].name, "competing_flows");
+  EXPECT_EQ(fig12->spec.axes[0].values,
+            (std::vector<double>{10, 30, 50}));
+}
+
+// Full-figure regression: the fig09 scenario at seed 1 must serialize to the
+// same bytes whether its trials run serially or on four workers. This is the
+// event engine's determinism contract end to end — FIFO tiebreaks, pooled
+// event slots, and reschedule ordering all feed into these bytes.
+TEST(BuiltinScenarioTest, Fig09JsonByteIdenticalAcrossThreadCounts) {
+  RegisterBuiltinScenarios();
+  const Scenario* scenario = ScenarioRegistry::Global().Find("fig09_fct");
+  ASSERT_NE(scenario, nullptr);
+  // One seeded trial per variant (seed_base = 1 -> --seed 1).
+  std::vector<TrialPoint> plan = ExpandTrials(scenario->spec, /*trials=*/1);
+
+  RunnerOptions serial;
+  serial.threads = 1;
+  RunnerOptions parallel;
+  parallel.threads = 4;
+  std::vector<TrialResult> r1 = TrialRunner(serial).Run(*scenario, plan);
+  std::vector<TrialResult> r4 = TrialRunner(parallel).Run(*scenario, plan);
+
+  std::string json1 = ToJson(Aggregate(scenario->spec, plan, r1));
+  std::string json4 = ToJson(Aggregate(scenario->spec, plan, r4));
+  EXPECT_EQ(json1, json4);
+  std::string csv1 = ToCsv(Aggregate(scenario->spec, plan, r1));
+  std::string csv4 = ToCsv(Aggregate(scenario->spec, plan, r4));
+  EXPECT_EQ(csv1, csv4);
+}
+
 }  // namespace
 }  // namespace runner
 }  // namespace bundler

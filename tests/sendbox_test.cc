@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 
 #include "src/app/workload.h"
 #include "src/bundler/epoch.h"
@@ -137,7 +138,7 @@ TEST(SendboxTest, NonBundleTrafficPassesThrough) {
   stray.key.src = MakeAddress(BundleDstSite(0), 1);
   stray.key.dst = MakeAddress(BundleSrcSite(0), 1);
   stray.size_bytes = 100;
-  net.sendbox()->HandlePacket(stray);
+  net.sendbox()->HandlePacket(std::move(stray));
   EXPECT_EQ(net.sendbox()->queue_packets(), 0);
 }
 

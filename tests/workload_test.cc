@@ -233,9 +233,10 @@ TEST(PoissonWorkloadTest, DeterministicUnderSeed) {
     cfg.offered_load = Rate::Mbps(30);
     PoissonWebWorkload wl(&sim, &flows, &server, &client, &cdf, cfg, seed, &fct);
     sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(5));
-    int64_t sig = static_cast<int64_t>(wl.issued());
+    // Unsigned arithmetic: this is a wraparound hash, not a count.
+    uint64_t sig = wl.issued();
     for (const auto& r : fct.records()) {
-      sig = sig * 31 + r.size_bytes;
+      sig = sig * 31 + static_cast<uint64_t>(r.size_bytes);
     }
     return sig;
   };
