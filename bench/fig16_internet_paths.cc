@@ -6,7 +6,11 @@
 // (bulk + SFQ sendbox). The paper reports Status Quo RTTs far above Base
 // (queueing outside either site), Bundler restoring near-Base RTTs (57%
 // lower than Status Quo at the median) with bulk throughput within 1%.
-#include <cstdio>
+//
+// Thin wrapper over the "fig16_wan" registered scenario (src/runner): the
+// runner expands the three modes x the five-path sweep and executes trials in
+// parallel on the builder-based WAN topology.
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -21,46 +25,49 @@ void Run() {
       "Bundler cuts request-response RTTs by ~57% at the median vs StatusQuo, "
       "back to near-Base levels, with bulk throughput within 1%");
 
-  const TimeDelta duration = TimeDelta::Seconds(60);
-  const TimeDelta warmup = TimeDelta::Seconds(15);
+  runner::ScenarioSummary summary = bench::RunRegisteredScenario("fig16_wan");
+
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"base", "Base"}, {"status_quo", "StatusQuo"}, {"bundler", "Bundler"}};
+  std::vector<WanPathSpec> paths = DefaultWanPaths();
 
   Table table({"path", "mode", "RTT p10 (ms)", "p50", "p90", "p99",
                "bulk tput (Mbit/s)"});
   double sq_sum = 0, bd_sum = 0, base_sum = 0;
   double sq_tput = 0, bd_tput = 0;
-  int paths = 0;
 
-  for (const WanPathSpec& spec : DefaultWanPaths()) {
-    ++paths;
-    for (WanMode mode : {WanMode::kBase, WanMode::kStatusQuo, WanMode::kBundler}) {
-      WanRunResult r = RunWanPath(spec, mode, duration, warmup, /*seed=*/7);
-      table.AddRow({r.path, WanModeName(r.mode), Table::Num(r.rtt_ms_p10, 1),
-                    Table::Num(r.rtt_ms_p50, 1), Table::Num(r.rtt_ms_p90, 1),
-                    Table::Num(r.rtt_ms_p99, 1), Table::Num(r.bulk_goodput_mbps, 1)});
-      switch (mode) {
-        case WanMode::kBase:
-          base_sum += r.rtt_ms_p50;
-          break;
-        case WanMode::kStatusQuo:
-          sq_sum += r.rtt_ms_p50;
-          sq_tput += r.bulk_goodput_mbps;
-          break;
-        case WanMode::kBundler:
-          bd_sum += r.rtt_ms_p50;
-          bd_tput += r.bulk_goodput_mbps;
-          break;
+  for (size_t p = 0; p < paths.size(); ++p) {
+    for (const auto& [key, label] : variants) {
+      const runner::CellSummary* cell =
+          runner::FindCell(summary, key, {{"path", static_cast<double>(p)}});
+      BUNDLER_CHECK(cell != nullptr);
+      double p50 = cell->scalars.at("rtt_ms_p50").mean;
+      double tput = cell->scalars.at("bulk_goodput_mbps").mean;
+      table.AddRow({paths[p].name, label, Table::Num(cell->scalars.at("rtt_ms_p10").mean, 1),
+                    Table::Num(p50, 1), Table::Num(cell->scalars.at("rtt_ms_p90").mean, 1),
+                    Table::Num(cell->scalars.at("rtt_ms_p99").mean, 1),
+                    Table::Num(tput, 1)});
+      if (key == "base") {
+        base_sum += p50;
+      } else if (key == "status_quo") {
+        sq_sum += p50;
+        sq_tput += tput;
+      } else {
+        bd_sum += p50;
+        bd_tput += tput;
       }
     }
   }
   table.Print();
 
+  double n = static_cast<double>(paths.size());
   double latency_reduction = (1 - bd_sum / sq_sum) * 100;
   double tput_delta = (bd_tput / sq_tput - 1) * 100;
   bench::PrintHeadline(
       "median request-response RTT across paths: Base %.0f ms, StatusQuo %.0f ms, "
       "Bundler %.0f ms — %.0f%% lower than StatusQuo (paper: 57%%); bulk "
       "throughput delta %.1f%% (paper: within 1%%)",
-      base_sum / paths, sq_sum / paths, bd_sum / paths, latency_reduction, tput_delta);
+      base_sum / n, sq_sum / n, bd_sum / n, latency_reduction, tput_delta);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// Building a topology the library has no preset for: a three-site triangle
+// where one site ("hub") bundles its traffic to each of two branch offices
+// over shared middle-mile links... declared in ~30 lines with NetBuilder.
+//
+// hub ----> core ----> east_edge (25 Mbit/s) ----> east
+//             \------> west_edge (10 Mbit/s) ----> west
+// (east and west return ACKs/feedback over a common reverse link)
+//
+// A sendbox at the hub bundles hub->east; west traffic rides unbundled as a
+// comparison. Both edges are loaded past capacity by a backlogged flow, so
+// short requests queue behind it — except where the sendbox owns the queue.
+//
+// Usage: custom_topology [duration_seconds]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/app/workload.h"
+#include "src/metrics/fct.h"
+#include "src/topo/net_builder.h"
+#include "src/util/table.h"
+
+using namespace bundler;
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::atof(argv[1]) : 30.0;
+  TimeDelta duration = TimeDelta::SecondsF(seconds);
+  TimePoint warmup = TimePoint::Zero() + TimeDelta::SecondsF(seconds * 0.2);
+
+  NetBuilder b;
+  NetBuilder::NodeId hub = b.AddSite("hub", 1);
+  NetBuilder::NodeId east = b.AddSite("east", 2);
+  NetBuilder::NodeId west = b.AddSite("west", 3);
+  NetBuilder::NodeId core = b.AddRouter("core");
+  NetBuilder::NodeId ret = b.AddRouter("return");
+
+  b.AddLink(hub, core, {}, "hub_uplink");  // defaults: 1 Gbit/s, no delay
+
+  NetBuilder::LinkSpec east_spec;
+  east_spec.rate = Rate::Mbps(25);
+  east_spec.delay = TimeDelta::Millis(20);
+  east_spec.buffer_bytes = 2 * 250 * 1000;  // ~2 BDP
+  NetBuilder::EdgeId east_edge = b.AddLink(core, east, east_spec, "east_edge");
+
+  NetBuilder::LinkSpec west_spec;
+  west_spec.rate = Rate::Mbps(10);
+  west_spec.delay = TimeDelta::Millis(35);
+  west_spec.buffer_bytes = 2 * 90 * 1000;
+  b.AddLink(core, west, west_spec, "west_edge");
+
+  // Both branches return ACKs and feedback through a shared link back into
+  // the core, which delivers to the hub.
+  NetBuilder::LinkSpec reverse;
+  reverse.delay = TimeDelta::Millis(20);
+  b.AddWire(east, ret);
+  b.AddWire(west, ret);
+  b.AddLink(ret, core, reverse, "return_link");
+  b.AddWire(core, hub);
+
+  // Bundle hub -> east; the receivebox sits at the east edge's delivery side.
+  NetBuilder::BundleSpec bundle;
+  bundle.src_site = hub;
+  bundle.dst_site = east;
+  bundle.ingress_edge = east_edge;
+  b.AddBundle(bundle);
+
+  std::printf("%s", b.ToDot("triangle").c_str());
+
+  Simulator sim;
+  std::unique_ptr<Net> net = b.Build(&sim);
+
+  static const SizeCdf cdf = SizeCdf::InternetCoreRouter();
+  FctRecorder east_fct, west_fct;
+  WebWorkloadConfig web;
+  web.offered_load = Rate::Mbps(10);
+  PoissonWebWorkload east_web(&sim, net->flows(), net->host(hub), net->host(east),
+                              &cdf, web, /*seed=*/1, &east_fct);
+  WebWorkloadConfig west_web_cfg;
+  west_web_cfg.offered_load = Rate::Mbps(4);
+  PoissonWebWorkload west_web(&sim, net->flows(), net->host(hub), net->host(west),
+                              &cdf, west_web_cfg, /*seed=*/2, &west_fct);
+  // One backlogged flow per branch keeps both edges saturated.
+  StartBulkFlows(&sim, net->flows(), net->host(hub), net->host(east), 1,
+                 HostCcType::kCubic, TimePoint::Zero());
+  StartBulkFlows(&sim, net->flows(), net->host(hub), net->host(west), 1,
+                 HostCcType::kCubic, TimePoint::Zero());
+
+  sim.RunUntil(TimePoint::Zero() + duration);
+
+  RequestFilter small = RequestFilter::SmallFlows();
+  small.min_start = warmup;
+  QuantileEstimator east_q = east_fct.Fcts(small);
+  QuantileEstimator west_q = west_fct.Fcts(small);
+
+  Table table({"branch", "bundled", "short-req FCT p50 (ms)", "p95 (ms)", "n"});
+  table.AddRow({"east", "yes", Table::Num(east_q.Median() * 1000, 1),
+                Table::Num(east_q.Quantile(0.95) * 1000, 1),
+                std::to_string(east_q.count())});
+  table.AddRow({"west", "no", Table::Num(west_q.Median() * 1000, 1),
+                Table::Num(west_q.Quantile(0.95) * 1000, 1),
+                std::to_string(west_q.count())});
+  table.Print();
+
+  std::printf(
+      "\nThe bundled branch keeps short requests near the base RTT while the\n"
+      "unbundled branch queues behind its bulk transfer. Topology declared\n"
+      "with NetBuilder — no Dumbbell preset, no constructor plumbing.\n");
+  return 0;
+}

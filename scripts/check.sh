@@ -20,6 +20,12 @@ if [[ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]]; then
   (cd build-asan && ctest --output-on-failure -j"${JOBS}")
 fi
 
+echo "--- topology construction smoke: --dump-topology for every scenario"
+for scenario in $(./build/bundler_run --list-names); do
+  ./build/bundler_run --dump-topology "${scenario}" > /dev/null
+  echo "  ${scenario}: topology OK"
+done
+
 echo "--- smoke scenario: fig09_fct (2 trials, 2 threads)"
 ./build/bundler_run --scenario fig09_fct --trials 2 --threads 2 \
   --out build/smoke_t2 --quiet

@@ -94,7 +94,10 @@ class RequestResponse : public PacketHandler {
 };
 
 // `count` backlogged flows from server to client, started at `start`.
-// Returns the senders (for throughput accounting).
+// Returns the senders (for throughput accounting) — but only for flows
+// started immediately: a `start` in the future defers creation, and those
+// senders are NOT in the returned vector (schedule StartTcpFlow yourself if
+// you need the handle).
 std::vector<TcpSender*> StartBulkFlows(Simulator* sim, FlowTable* flows, Host* server,
                                        Host* client, int count, HostCcType cc,
                                        TimePoint start);

@@ -36,6 +36,13 @@ class MultipathLink : public PacketHandler {
 
   size_t num_paths() const { return paths_.size(); }
   Link* path(size_t i) { return paths_[i].get(); }
+  // Re-points every path's delivery handler (construction seam for builders
+  // that wire destinations after all edges exist).
+  void set_dst(PacketHandler* dst) {
+    for (auto& path : paths_) {
+      path->set_dst(dst);
+    }
+  }
   // Index the balancer would pick for this packet (exposed for tests).
   size_t PathIndexFor(const Packet& pkt);
 

@@ -21,6 +21,14 @@ uint64_t Drr::FlowHash(const Packet& pkt) {
   return Fnv1a64Combine(fields, 5);
 }
 
+void Drr::ReleaseSlot(size_t slot) {
+  slots_[slot].active = false;
+  IndexRingRemove(slots_, rr_, slot);
+  flow_to_slot_.erase(slot_to_flow_[slot]);
+  slot_to_flow_.erase(slot);
+  free_slots_.push_back(slot);
+}
+
 bool Drr::Enqueue(Packet pkt, TimePoint now) {
   (void)now;
   uint64_t flow = FlowHash(pkt);
@@ -47,7 +55,7 @@ bool Drr::Enqueue(Packet pkt, TimePoint now) {
   if (!fq.active) {
     fq.active = true;
     fq.deficit = 0;
-    active_.push_back(slot);
+    IndexRingPushBack(slots_, rr_, slot);
   }
   if (bytes_ > config_.limit_bytes) {
     DropFromLongest();
@@ -59,7 +67,7 @@ bool Drr::Enqueue(Packet pkt, TimePoint now) {
 void Drr::DropFromLongest() {
   size_t longest = 0;
   int64_t longest_bytes = -1;
-  for (size_t slot : active_) {
+  for (size_t slot = rr_.head; slot != kIndexRingNil; slot = slots_[slot].next) {
     if (slots_[slot].bytes > longest_bytes) {
       longest_bytes = slots_[slot].bytes;
       longest = slot;
@@ -68,52 +76,38 @@ void Drr::DropFromLongest() {
   BUNDLER_CHECK(longest_bytes >= 0);
   FlowQueue& fq = slots_[longest];
   BUNDLER_CHECK(!fq.queue.empty());
-  const Packet& victim = fq.queue.back();
+  Packet victim = fq.queue.pop_back();
   fq.bytes -= victim.size_bytes;
   bytes_ -= victim.size_bytes;
-  fq.queue.pop_back();
   --packets_;
   CountDrop();
   if (fq.queue.empty()) {
-    fq.active = false;
-    active_.remove(longest);
-    flow_to_slot_.erase(slot_to_flow_[longest]);
-    slot_to_flow_.erase(longest);
-    free_slots_.push_back(longest);
+    ReleaseSlot(longest);
   }
 }
 
 std::optional<Packet> Drr::Dequeue(TimePoint now) {
   (void)now;
-  while (!active_.empty()) {
-    size_t slot = active_.front();
+  while (!rr_.empty()) {
+    size_t slot = rr_.head;
     FlowQueue& fq = slots_[slot];
     if (fq.queue.empty()) {
-      fq.active = false;
-      active_.pop_front();
-      flow_to_slot_.erase(slot_to_flow_[slot]);
-      slot_to_flow_.erase(slot);
-      free_slots_.push_back(slot);
+      ReleaseSlot(slot);
       continue;
     }
     if (fq.deficit <= 0) {
       fq.deficit += config_.quantum_bytes;
-      active_.pop_front();
-      active_.push_back(slot);
+      IndexRingRemove(slots_, rr_, slot);
+      IndexRingPushBack(slots_, rr_, slot);
       continue;
     }
-    Packet pkt = std::move(fq.queue.front());
-    fq.queue.pop_front();
+    Packet pkt = fq.queue.pop_front();
     fq.bytes -= pkt.size_bytes;
     fq.deficit -= pkt.size_bytes;
     bytes_ -= pkt.size_bytes;
     --packets_;
     if (fq.queue.empty()) {
-      fq.active = false;
-      active_.pop_front();
-      flow_to_slot_.erase(slot_to_flow_[slot]);
-      slot_to_flow_.erase(slot);
-      free_slots_.push_back(slot);
+      ReleaseSlot(slot);
     }
     return pkt;
   }
@@ -121,7 +115,7 @@ std::optional<Packet> Drr::Dequeue(TimePoint now) {
 }
 
 const Packet* Drr::Peek() const {
-  for (size_t slot : active_) {
+  for (size_t slot = rr_.head; slot != kIndexRingNil; slot = slots_[slot].next) {
     if (!slots_[slot].queue.empty()) {
       return &slots_[slot].queue.front();
     }

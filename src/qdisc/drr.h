@@ -6,12 +6,12 @@
 #define SRC_QDISC_DRR_H_
 
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "src/qdisc/qdisc.h"
+#include "src/util/index_ring.h"
+#include "src/util/ring_buffer.h"
 
 namespace bundler {
 
@@ -31,30 +31,32 @@ class Drr : public Qdisc {
   int64_t packets() const override { return packets_; }
   const char* name() const override { return "drr"; }
 
-  size_t active_flows() const { return active_.size(); }
+  size_t active_flows() const { return rr_.size(); }
 
  private:
+  // Flow queues link into an intrusive round-robin ring
+  // (src/util/index_ring.h), and the packet queue is a reusable ring buffer.
+  // vector works for slots_ because both are nothrow-movable; slot addresses
+  // are not held across Enqueue (the only growth point).
   struct FlowQueue {
-    std::deque<Packet> queue;
+    RingBuffer<Packet> queue;
     int64_t bytes = 0;
     int64_t deficit = 0;
     bool active = false;
+    size_t prev = kIndexRingNil;
+    size_t next = kIndexRingNil;
   };
 
   static uint64_t FlowHash(const Packet& pkt);
   void DropFromLongest();
+  void ReleaseSlot(size_t slot);
 
   Config config_;
   std::unordered_map<uint64_t, size_t> flow_to_slot_;
-  // deque: grows without relocating existing slots. A vector would not
-  // compile: FlowQueue's implicit move ctor is not noexcept (deque's move
-  // ctor may allocate), so vector reallocation picks the copy ctor — which
-  // deque declares unconditionally but cannot instantiate for move-only
-  // Packet elements.
-  std::deque<FlowQueue> slots_;
+  std::vector<FlowQueue> slots_;
   std::vector<size_t> free_slots_;
   std::unordered_map<size_t, uint64_t> slot_to_flow_;
-  std::list<size_t> active_;
+  IndexRing rr_;
   int64_t bytes_ = 0;
   int64_t packets_ = 0;
 };

@@ -26,8 +26,7 @@ std::optional<Packet> DropTailFifo::Dequeue(TimePoint now) {
   if (queue_.empty()) {
     return std::nullopt;
   }
-  Packet pkt = std::move(queue_.front());
-  queue_.pop_front();
+  Packet pkt = queue_.pop_front();
   bytes_ -= pkt.size_bytes;
   return pkt;
 }

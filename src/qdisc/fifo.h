@@ -2,9 +2,8 @@
 #ifndef SRC_QDISC_FIFO_H_
 #define SRC_QDISC_FIFO_H_
 
-#include <deque>
-
 #include "src/qdisc/qdisc.h"
+#include "src/util/ring_buffer.h"
 
 namespace bundler {
 
@@ -24,7 +23,7 @@ class DropTailFifo : public Qdisc {
  private:
   int64_t limit_bytes_;
   int64_t bytes_ = 0;
-  std::deque<Packet> queue_;
+  RingBuffer<Packet> queue_;
 };
 
 }  // namespace bundler

@@ -34,7 +34,7 @@ bool Sfq::Enqueue(Packet pkt, TimePoint now) {
   if (!b.active) {
     b.active = true;
     b.deficit = 0;
-    active_.push_back(idx);
+    IndexRingPushBack(buckets_, rr_, idx);
   }
   if (packets_ > config_.limit_packets) {
     DropFromLongest();
@@ -47,55 +47,51 @@ void Sfq::DropFromLongest() {
   // Linux SFQ drops from the tail of the longest (most bytes) flow queue.
   size_t longest = 0;
   int64_t longest_bytes = -1;
-  bool found = false;
-  for (size_t idx : active_) {
+  for (size_t idx = rr_.head; idx != kIndexRingNil; idx = buckets_[idx].next) {
     if (buckets_[idx].bytes > longest_bytes) {
       longest_bytes = buckets_[idx].bytes;
       longest = idx;
-      found = true;
     }
   }
-  BUNDLER_CHECK(found);
+  BUNDLER_CHECK(longest_bytes >= 0);
   Bucket& b = buckets_[longest];
   BUNDLER_CHECK(!b.queue.empty());
-  const Packet& victim = b.queue.back();
+  Packet victim = b.queue.pop_back();
   b.bytes -= victim.size_bytes;
   bytes_ -= victim.size_bytes;
-  b.queue.pop_back();
   --packets_;
   CountDrop();
   if (b.queue.empty()) {
     b.active = false;
-    active_.remove(longest);
+    IndexRingRemove(buckets_, rr_, longest);
   }
 }
 
 std::optional<Packet> Sfq::Dequeue(TimePoint now) {
   (void)now;
-  while (!active_.empty()) {
-    size_t idx = active_.front();
+  while (!rr_.empty()) {
+    size_t idx = rr_.head;
     Bucket& b = buckets_[idx];
     if (b.queue.empty()) {
       b.active = false;
-      active_.pop_front();
+      IndexRingRemove(buckets_, rr_, idx);
       continue;
     }
     if (b.deficit <= 0) {
       // New round for this bucket: move to the back with a fresh quantum.
       b.deficit += config_.quantum_bytes;
-      active_.pop_front();
-      active_.push_back(idx);
+      IndexRingRemove(buckets_, rr_, idx);
+      IndexRingPushBack(buckets_, rr_, idx);
       continue;
     }
-    Packet pkt = std::move(b.queue.front());
-    b.queue.pop_front();
+    Packet pkt = b.queue.pop_front();
     b.bytes -= pkt.size_bytes;
     b.deficit -= pkt.size_bytes;
     bytes_ -= pkt.size_bytes;
     --packets_;
     if (b.queue.empty()) {
       b.active = false;
-      active_.pop_front();
+      IndexRingRemove(buckets_, rr_, idx);
     }
     return pkt;
   }
@@ -103,7 +99,7 @@ std::optional<Packet> Sfq::Dequeue(TimePoint now) {
 }
 
 const Packet* Sfq::Peek() const {
-  for (size_t idx : active_) {
+  for (size_t idx = rr_.head; idx != kIndexRingNil; idx = buckets_[idx].next) {
     const Bucket& b = buckets_[idx];
     if (!b.queue.empty()) {
       return &b.queue.front();

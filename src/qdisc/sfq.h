@@ -7,11 +7,11 @@
 #define SRC_QDISC_SFQ_H_
 
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <vector>
 
 #include "src/qdisc/qdisc.h"
+#include "src/util/index_ring.h"
+#include "src/util/ring_buffer.h"
 
 namespace bundler {
 
@@ -34,21 +34,26 @@ class Sfq : public Qdisc {
   const char* name() const override { return "sfq"; }
 
   size_t BucketFor(const Packet& pkt) const;
-  size_t active_buckets() const { return active_.size(); }
+  size_t active_buckets() const { return rr_.size(); }
 
  private:
+  // Buckets link into an intrusive round-robin ring (src/util/index_ring.h):
+  // list-of-indices discipline without a node allocation per activation —
+  // the sendbox's default scheduler sits on the datapath.
   struct Bucket {
-    std::deque<Packet> queue;
+    RingBuffer<Packet> queue;
     int64_t bytes = 0;
     int64_t deficit = 0;
     bool active = false;
+    size_t prev = kIndexRingNil;
+    size_t next = kIndexRingNil;
   };
 
   void DropFromLongest();
 
   Config config_;
   std::vector<Bucket> buckets_;
-  std::list<size_t> active_;  // round-robin order of non-empty buckets
+  IndexRing rr_;  // round-robin order of non-empty buckets
   int64_t bytes_ = 0;
   int64_t packets_ = 0;
 };

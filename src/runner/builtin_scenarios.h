@@ -5,7 +5,10 @@
 #ifndef SRC_RUNNER_BUILTIN_SCENARIOS_H_
 #define SRC_RUNNER_BUILTIN_SCENARIOS_H_
 
+#include <string>
+
 #include "src/runner/scenario.h"
+#include "src/topo/dumbbell.h"
 
 namespace bundler {
 namespace runner {
@@ -18,6 +21,23 @@ void RegisterBuiltinScenarios();
 // wrapper labels offered loads consistently with what the scenario simulates.
 inline constexpr double kFig13AggregateLoadMbps = 84;
 
+// Builds `builder`'s graph into a scratch simulator — running the builder's
+// full validation, so topology providers double as construction smoke tests —
+// then renders it as Graphviz DOT.
+std::string BuildAndRenderDot(const NetBuilder& builder, const std::string& name);
+
+// Topology provider for dumbbell-shaped scenarios.
+TopologyDotFn DumbbellTopology(DumbbellConfig cfg, std::string name);
+
+// Quantile of a monitor time series over samples at or after `from` (0 when
+// none) — e.g. post-warmup per-hop queue delay.
+double SeriesQuantileSince(const TimeSeries& series, TimePoint from, double q);
+
+// Reports an FCT distribution (seconds) under `key` in milliseconds: the
+// pooled sample vector plus `<key>_p50` / `<key>_p99` scalars.
+void AddFctMillis(TrialResult* result, const QuantileEstimator& fct_seconds,
+                  const std::string& key);
+
 // Individual registrations (each CHECK-fails on double registration; prefer
 // RegisterBuiltinScenarios).
 void RegisterFig09Fct(ScenarioRegistry* registry);
@@ -25,6 +45,9 @@ void RegisterFig10CrossTraffic(ScenarioRegistry* registry);
 void RegisterFig11WebCrossSweep(ScenarioRegistry* registry);
 void RegisterFig12ElasticCrossSweep(ScenarioRegistry* registry);
 void RegisterFig13CompetingBundles(ScenarioRegistry* registry);
+void RegisterFig16Wan(ScenarioRegistry* registry);
+void RegisterParkingLot(ScenarioRegistry* registry);
+void RegisterAsymReversePath(ScenarioRegistry* registry);
 
 }  // namespace runner
 }  // namespace bundler

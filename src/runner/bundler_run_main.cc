@@ -25,8 +25,13 @@ namespace {
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: bundler_run --list\n"
+               "       bundler_run --list-names\n"
+               "       bundler_run --dump-topology NAME\n"
                "       bundler_run --scenario NAME [--trials N] [--threads N]\n"
-               "                   [--seed-base N] [--out DIR] [--quiet]\n");
+               "                   [--seed-base N] [--out DIR] [--quiet]\n"
+               "\n"
+               "--dump-topology builds NAME's topology graph (validating it) and\n"
+               "prints Graphviz DOT on stdout.\n");
 }
 
 void PrintList() {
@@ -41,11 +46,8 @@ void PrintList() {
       sweep += (sweep.empty() ? "" : " x ") + axis.name + "[" +
                std::to_string(axis.values.size()) + "]";
     }
-    if (sweep.empty()) {
-      sweep = "-";
-    }
-    table.AddRow({s->spec.name, variants, sweep, std::to_string(s->spec.default_trials),
-                  s->spec.summary});
+    table.AddRow({s->spec.name, variants, sweep.empty() ? std::string("-") : sweep,
+                  std::to_string(s->spec.default_trials), s->spec.summary});
   }
   table.Print();
 }
@@ -78,8 +80,10 @@ int Main(int argc, char** argv) {
   RegisterBuiltinScenarios();
 
   bool list = false;
+  bool list_names = false;
   bool quiet = false;
   std::string scenario_name;
+  std::string dump_topology_name;
   std::string out_dir = "results";
   int trials = 0;
   int threads = 1;
@@ -98,6 +102,10 @@ int Main(int argc, char** argv) {
     };
     if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-names") {
+      list_names = true;
+    } else if (arg == "--dump-topology") {
+      dump_topology_name = next_value("--dump-topology");
     } else if (arg == "--scenario") {
       scenario_name = next_value("--scenario");
     } else if (arg == "--trials") {
@@ -123,6 +131,29 @@ int Main(int argc, char** argv) {
 
   if (list) {
     PrintList();
+    return 0;
+  }
+  if (list_names) {
+    for (const Scenario* s : ScenarioRegistry::Global().List()) {
+      std::printf("%s\n", s->spec.name.c_str());
+    }
+    return 0;
+  }
+  if (!dump_topology_name.empty()) {
+    const Scenario* s = ScenarioRegistry::Global().Find(dump_topology_name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s'; --list shows the registry\n",
+                   dump_topology_name.c_str());
+      return 2;
+    }
+    if (!s->topology) {
+      std::fprintf(stderr, "scenario '%s' registered no topology provider\n",
+                   dump_topology_name.c_str());
+      return 1;
+    }
+    // Building the graph inside the provider doubles as a construction smoke
+    // test: a malformed topology CHECK-fails here with a readable message.
+    std::printf("%s", s->topology().c_str());
     return 0;
   }
   if (scenario_name.empty()) {

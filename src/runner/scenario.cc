@@ -22,7 +22,7 @@ ScenarioRegistry& ScenarioRegistry::Global() {
   return registry;
 }
 
-void ScenarioRegistry::Register(ScenarioSpec spec, TrialFn run) {
+void ScenarioRegistry::Register(ScenarioSpec spec, TrialFn run, TopologyDotFn topology) {
   BUNDLER_CHECK_MSG(!spec.name.empty(), "scenario needs a name");
   BUNDLER_CHECK_MSG(!spec.variants.empty(), "scenario '%s' needs >= 1 variant",
                     spec.name.c_str());
@@ -33,8 +33,8 @@ void ScenarioRegistry::Register(ScenarioSpec spec, TrialFn run) {
                       spec.name.c_str(), axis.name.c_str());
   }
   std::string name = spec.name;
-  auto [it, inserted] =
-      scenarios_.emplace(name, Scenario{std::move(spec), std::move(run)});
+  auto [it, inserted] = scenarios_.emplace(
+      name, Scenario{std::move(spec), std::move(run), std::move(topology)});
   (void)it;
   BUNDLER_CHECK_MSG(inserted, "duplicate scenario '%s'", name.c_str());
 }

@@ -65,9 +65,16 @@ struct TrialResult {
 
 using TrialFn = std::function<TrialResult(const TrialPoint&)>;
 
+// Emits a Graphviz DOT rendering of the scenario's (default-variant)
+// topology. Providers are expected to *build* the topology into a scratch
+// simulator before rendering, so invoking them doubles as a construction
+// smoke test (`bundler_run --dump-topology`, scripts/check.sh).
+using TopologyDotFn = std::function<std::string()>;
+
 struct Scenario {
   ScenarioSpec spec;
   TrialFn run;
+  TopologyDotFn topology = nullptr;  // null when the scenario has no provider
 };
 
 class ScenarioRegistry {
@@ -76,7 +83,7 @@ class ScenarioRegistry {
   static ScenarioRegistry& Global();
 
   // CHECK-fails on duplicate names or empty variants.
-  void Register(ScenarioSpec spec, TrialFn run);
+  void Register(ScenarioSpec spec, TrialFn run, TopologyDotFn topology = nullptr);
 
   const Scenario* Find(const std::string& name) const;
   std::vector<const Scenario*> List() const;  // sorted by name

@@ -77,7 +77,8 @@ void RegisterFig09Fct(ScenarioRegistry* registry) {
       "Bundler+FIFO / In-Network under the paper's 7.1 workload";
   spec.variants = {"status_quo", "bundler_sfq", "bundler_fifo", "in_network"};
   spec.default_trials = 3;
-  registry->Register(std::move(spec), RunTrial);
+  registry->Register(std::move(spec), RunTrial,
+                     DumbbellTopology(PaperExperimentDefaults(true, 1).net, "fig09_fct"));
 }
 
 }  // namespace runner

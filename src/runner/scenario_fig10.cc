@@ -133,7 +133,11 @@ void RegisterFig10CrossTraffic(ScenarioRegistry* registry) {
       "non-buffer-filling); Bundler must detect and yield, then resume";
   spec.variants = {"status_quo", "bundler"};
   spec.default_trials = 3;
-  registry->Register(std::move(spec), RunTrial);
+  DumbbellConfig topo;
+  topo.bottleneck_rate = Rate::Mbps(96);
+  topo.rtt = TimeDelta::Millis(50);
+  registry->Register(std::move(spec), RunTrial,
+                     DumbbellTopology(topo, "fig10_cross_traffic"));
 }
 
 }  // namespace runner

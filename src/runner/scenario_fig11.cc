@@ -69,7 +69,9 @@ void RegisterFig11WebCrossSweep(ScenarioRegistry* registry) {
   spec.variants = {"status_quo", "bundler_copa", "bundler_nimbus"};
   spec.axes = {{"cross_mbps", {6, 12, 18, 24, 30, 36, 42}}};
   spec.default_trials = 3;
-  registry->Register(std::move(spec), RunTrial);
+  registry->Register(
+      std::move(spec), RunTrial,
+      DumbbellTopology(PaperExperimentDefaults(true, 1).net, "fig11_web_cross_sweep"));
 }
 
 }  // namespace runner

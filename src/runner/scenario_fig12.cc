@@ -48,7 +48,10 @@ void RegisterFig12ElasticCrossSweep(ScenarioRegistry* registry) {
   spec.variants = {"status_quo", "bundler"};
   spec.axes = {{"competing_flows", {10, 30, 50}}};
   spec.default_trials = 3;
-  registry->Register(std::move(spec), RunTrial);
+  registry->Register(
+      std::move(spec), RunTrial,
+      DumbbellTopology(PaperExperimentDefaults(true, 1).net,
+                       "fig12_elastic_cross_sweep"));
 }
 
 }  // namespace runner

@@ -1,5 +1,6 @@
 #include "src/topo/dumbbell.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -8,15 +9,6 @@
 #include "src/util/check.h"
 
 namespace bundler {
-
-namespace {
-constexpr uint16_t kCtlHost = 0xFFFE;
-
-Address SendboxCtlAddr(int bundle) { return MakeAddress(BundleSrcSite(bundle), kCtlHost); }
-Address ReceiveboxCtlAddr(int bundle) {
-  return MakeAddress(BundleDstSite(bundle), kCtlHost);
-}
-}  // namespace
 
 SiteId BundleSrcSite(int bundle) { return static_cast<SiteId>(10 + bundle); }
 SiteId BundleDstSite(int bundle) { return static_cast<SiteId>(100 + bundle); }
@@ -32,191 +24,148 @@ PacketPredicate Dumbbell::BundleDataFilter(int bundle) {
   };
 }
 
-Dumbbell::Dumbbell(Simulator* sim, const DumbbellConfig& config)
-    : sim_(sim), config_(config) {
-  BUNDLER_CHECK(config_.num_bundles >= 1);
-  BUNDLER_CHECK(config_.num_paths >= 1);
+NetBuilder DumbbellBuilder(const DumbbellConfig& config, DumbbellGraph* graph) {
+  BUNDLER_CHECK(config.num_bundles >= 1);
+  BUNDLER_CHECK(config.num_paths >= 1);
   double bdp_bytes =
-      config_.bottleneck_rate.BytesPerSecond() * config_.rtt.ToSeconds();
-  buffer_bytes_ = static_cast<int64_t>(bdp_bytes * config_.bottleneck_buffer_bdp);
-  buffer_bytes_ = std::max<int64_t>(buffer_bytes_, 8 * kMtuBytes);
-  BuildForward();
-  BuildReverse();
-}
+      config.bottleneck_rate.BytesPerSecond() * config.rtt.ToSeconds();
+  int64_t buffer_bytes =
+      static_cast<int64_t>(bdp_bytes * config.bottleneck_buffer_bdp);
+  buffer_bytes = std::max<int64_t>(buffer_bytes, 8 * kMtuBytes);
 
-void Dumbbell::BuildForward() {
-  // Build back-to-front: receivers first, then the bottleneck, then senders.
-  dst_router_ = std::make_unique<Router>("dst_router");
+  NetBuilder b;
+  DumbbellGraph g;
+  g.buffer_bytes = buffer_bytes;
 
-  for (int i = 0; i < config_.num_bundles; ++i) {
-    clients_.push_back(std::make_unique<Host>(
-        sim_, MakeAddress(BundleDstSite(i), 1), /*egress=*/nullptr));
-    dst_router_->AddSiteRoute(BundleDstSite(i), clients_.back().get());
+  // Nodes.
+  for (int i = 0; i < config.num_bundles; ++i) {
+    g.servers.push_back(b.AddSite("server" + std::to_string(i), BundleSrcSite(i)));
+    g.clients.push_back(b.AddSite("client" + std::to_string(i), BundleDstSite(i)));
   }
-  cross_client_ =
-      std::make_unique<Host>(sim_, MakeAddress(CrossDstSite(), 1), /*egress=*/nullptr);
-  dst_router_->AddSiteRoute(CrossDstSite(), cross_client_.get());
+  g.cross_server = b.AddSite("cross_server", CrossSrcSite());
+  g.cross_client = b.AddSite("cross_client", CrossDstSite());
+  NetBuilder::NodeId bottleneck_router = b.AddRouter("bottleneck_router");
+  NetBuilder::NodeId dst_router = b.AddRouter("dst_router");
+  g.reverse_agg = b.AddRouter("reverse_agg");
+  NetBuilder::NodeId reverse_router = b.AddRouter("reverse_router");
 
-  // Receivebox chain: the bottleneck delivers into rb_0, which forwards to
-  // rb_1, ..., the last forwards into the destination-side router. Each box
-  // only reacts to its own bundle and transparently forwards everything.
-  PacketHandler* after_bottleneck = dst_router_.get();
-  if (config_.bundler_enabled) {
-    for (int i = config_.num_bundles - 1; i >= 0; --i) {
-      Receivebox::Config rc;
-      rc.bundle_src_site = BundleSrcSite(i);
-      rc.bundle_dst_site = BundleDstSite(i);
-      rc.self_ctl_addr = ReceiveboxCtlAddr(i);
-      rc.sendbox_ctl_addr = SendboxCtlAddr(i);
-      rc.initial_epoch_pkts = config_.sendbox.initial_epoch_pkts;
-      receiveboxes_.insert(
-          receiveboxes_.begin(),
-          std::make_unique<Receivebox>(sim_, rc, after_bottleneck, /*reverse=*/nullptr));
-      after_bottleneck = receiveboxes_.front().get();
-    }
+  // Forward direction: per-bundle edge links and the cross edge feed the
+  // bottleneck router; the bottleneck (single link, DRR when in-network FQ is
+  // on, or a load-balanced multipath) delivers to the destination router.
+  NetBuilder::LinkSpec edge_spec;
+  edge_spec.rate = config.edge_rate;
+  edge_spec.buffer_bytes = 16 * 1024 * 1024;
+  for (int i = 0; i < config.num_bundles; ++i) {
+    b.AddLink(g.servers[static_cast<size_t>(i)], bottleneck_router, edge_spec,
+              "edge" + std::to_string(i));
   }
+  b.AddLink(g.cross_server, bottleneck_router, edge_spec, "cross_edge");
 
-  // Bottleneck.
-  if (config_.num_paths == 1) {
-    std::unique_ptr<Qdisc> queue;
-    if (config_.in_network_fq) {
-      Drr::Config dc;
-      dc.limit_bytes = buffer_bytes_;
-      queue = std::make_unique<Drr>(dc);
-    } else {
-      queue = std::make_unique<DropTailFifo>(buffer_bytes_);
+  if (config.num_paths == 1) {
+    NetBuilder::LinkSpec bn;
+    bn.rate = config.bottleneck_rate;
+    bn.delay = config.rtt / 2;
+    bn.buffer_bytes = buffer_bytes;
+    if (config.in_network_fq) {
+      bn.qdisc_factory = [buffer_bytes]() -> std::unique_ptr<Qdisc> {
+        Drr::Config dc;
+        dc.limit_bytes = buffer_bytes;
+        return std::make_unique<Drr>(dc);
+      };
     }
-    bottleneck_link_ = std::make_unique<Link>(sim_, "bottleneck", config_.bottleneck_rate,
-                                              config_.rtt / 2, std::move(queue),
-                                              after_bottleneck);
+    g.bottleneck = b.AddLink(bottleneck_router, dst_router, bn, "bottleneck");
   } else {
-    BUNDLER_CHECK_MSG(!config_.in_network_fq, "in-network FQ requires a single path");
+    BUNDLER_CHECK_MSG(!config.in_network_fq, "in-network FQ requires a single path");
     std::vector<MultipathLink::PathSpec> specs;
-    for (int p = 0; p < config_.num_paths; ++p) {
+    for (int p = 0; p < config.num_paths; ++p) {
       MultipathLink::PathSpec spec;
-      spec.rate = config_.bottleneck_rate / config_.num_paths;
-      spec.prop_delay = config_.rtt / 2 + config_.path_delay_spread * p;
-      spec.queue_limit_bytes = std::max<int64_t>(buffer_bytes_ / config_.num_paths,
-                                                 4 * kMtuBytes);
+      spec.rate = config.bottleneck_rate / config.num_paths;
+      spec.prop_delay = config.rtt / 2 + config.path_delay_spread * p;
+      spec.queue_limit_bytes =
+          std::max<int64_t>(buffer_bytes / config.num_paths, 4 * kMtuBytes);
       specs.push_back(spec);
     }
-    multipath_ = std::make_unique<MultipathLink>(sim_, "bottleneck", specs,
-                                                 config_.lb_mode, after_bottleneck);
+    g.bottleneck = b.AddMultipathLink(bottleneck_router, dst_router, specs,
+                                      config.lb_mode, "bottleneck");
   }
-  PacketHandler* bottleneck_in =
-      config_.num_paths == 1 ? static_cast<PacketHandler*>(bottleneck_link_.get())
-                             : static_cast<PacketHandler*>(multipath_.get());
 
-  bottleneck_router_ = std::make_unique<Router>("bottleneck_router");
-  bottleneck_router_->SetDefaultRoute(bottleneck_in);
+  for (int i = 0; i < config.num_bundles; ++i) {
+    b.AddWire(dst_router, g.clients[static_cast<size_t>(i)]);
+  }
+  b.AddWire(dst_router, g.cross_client);
 
-  // Monitors on every bottleneck path.
-  bottleneck_delay_ = std::make_unique<QueueDelayMonitor>();
-  for (int i = 0; i < config_.num_bundles; ++i) {
-    bundle_meters_.push_back(std::make_unique<RateMeter>(sim_, config_.rate_meter_window,
-                                                         BundleDataFilter(i)));
+  // Reverse direction: every receiver feeds the shared fat reverse link.
+  for (int i = 0; i < config.num_bundles; ++i) {
+    b.AddWire(g.clients[static_cast<size_t>(i)], g.reverse_agg);
+  }
+  b.AddWire(g.cross_client, g.reverse_agg);
+  NetBuilder::LinkSpec reverse_spec;
+  reverse_spec.rate = config.reverse_rate;
+  reverse_spec.delay = config.rtt / 2;
+  reverse_spec.buffer_bytes = 64 * 1024 * 1024;
+  b.AddLink(g.reverse_agg, reverse_router, reverse_spec, "reverse");
+  for (int i = 0; i < config.num_bundles; ++i) {
+    b.AddWire(reverse_router, g.servers[static_cast<size_t>(i)]);
+  }
+  b.AddWire(reverse_router, g.cross_server);
+
+  // Bundles (sendbox at each server's egress, receivebox chained at the
+  // bottleneck's delivery side, first bundle closest to the link).
+  if (config.bundler_enabled) {
+    for (int i = 0; i < config.num_bundles; ++i) {
+      NetBuilder::BundleSpec spec;
+      spec.src_site = g.servers[static_cast<size_t>(i)];
+      spec.dst_site = g.clients[static_cast<size_t>(i)];
+      spec.ingress_edge = g.bottleneck;
+      spec.sendbox = config.sendbox;
+      b.AddBundle(spec);
+    }
+  }
+
+  // Monitors on every bottleneck path: queue delay over all packets, then
+  // per-bundle and cross-traffic rate meters.
+  g.bottleneck_delay = b.AddQueueMonitor(g.bottleneck);
+  for (int i = 0; i < config.num_bundles; ++i) {
+    g.bundle_meters.push_back(b.AddRateMeter(g.bottleneck, config.rate_meter_window,
+                                             Dumbbell::BundleDataFilter(i)));
   }
   SiteId cross_src = CrossSrcSite();
-  cross_meter_ = std::make_unique<RateMeter>(
-      sim_, config_.rate_meter_window, [cross_src](const Packet& pkt) {
+  g.cross_meter = b.AddRateMeter(
+      g.bottleneck, config.rate_meter_window, [cross_src](const Packet& pkt) {
         return pkt.type == PacketType::kData && SiteOf(pkt.key.src) == cross_src;
       });
-  auto attach = [&](Link* link) {
-    link->AddObserver(bottleneck_delay_.get());
-    for (auto& meter : bundle_meters_) {
-      link->AddObserver(meter.get());
-    }
-    link->AddObserver(cross_meter_.get());
-  };
-  if (config_.num_paths == 1) {
-    attach(bottleneck_link_.get());
-  } else {
-    for (size_t p = 0; p < multipath_->num_paths(); ++p) {
-      attach(multipath_->path(p));
-    }
-  }
 
-  // Sender side.
-  for (int i = 0; i < config_.num_bundles; ++i) {
-    auto edge_queue = std::make_unique<DropTailFifo>(16 * 1024 * 1024);
-    edge_links_.push_back(std::make_unique<Link>(
-        sim_, "edge" + std::to_string(i), config_.edge_rate, TimeDelta::Zero(),
-        std::move(edge_queue), bottleneck_router_.get()));
-    PacketHandler* server_egress = edge_links_.back().get();
-    if (config_.bundler_enabled) {
-      Sendbox::Config sc = config_.sendbox;
-      sc.local_site = BundleSrcSite(i);
-      sc.remote_site = BundleDstSite(i);
-      sc.ctl_addr = SendboxCtlAddr(i);
-      sc.receivebox_ctl_addr = ReceiveboxCtlAddr(i);
-      sendboxes_.push_back(
-          std::make_unique<Sendbox>(sim_, sc, edge_links_.back().get()));
-      server_egress = sendboxes_.back().get();
-    }
-    servers_.push_back(
-        std::make_unique<Host>(sim_, MakeAddress(BundleSrcSite(i), 1), server_egress));
+  if (graph != nullptr) {
+    *graph = g;
   }
-  auto cross_queue = std::make_unique<DropTailFifo>(16 * 1024 * 1024);
-  cross_edge_link_ =
-      std::make_unique<Link>(sim_, "cross_edge", config_.edge_rate, TimeDelta::Zero(),
-                             std::move(cross_queue), bottleneck_router_.get());
-  cross_server_ = std::make_unique<Host>(sim_, MakeAddress(CrossSrcSite(), 1),
-                                         cross_edge_link_.get());
+  return b;
 }
 
-void Dumbbell::BuildReverse() {
-  reverse_router_ = std::make_unique<Router>("reverse_router");
-  for (int i = 0; i < config_.num_bundles; ++i) {
-    reverse_router_->AddSiteRoute(BundleSrcSite(i), servers_[i].get());
-    if (config_.bundler_enabled) {
-      // Feedback addressed to the sendbox control address must reach the
-      // sendbox itself, not the server host.
-      reverse_router_->AddAddressRoute(SendboxCtlAddr(i), sendboxes_[i].get());
-    }
-  }
-  reverse_router_->AddSiteRoute(CrossSrcSite(), cross_server_.get());
-
-  auto reverse_queue = std::make_unique<DropTailFifo>(64 * 1024 * 1024);
-  reverse_link_ =
-      std::make_unique<Link>(sim_, "reverse", config_.reverse_rate, config_.rtt / 2,
-                             std::move(reverse_queue), reverse_router_.get());
-
-  // Receivers and cross receivers send ACKs up the reverse path.
-  for (auto& client : clients_) {
-    client->set_egress(reverse_link_.get());
-  }
-  cross_client_->set_egress(reverse_link_.get());
-  for (auto& rb : receiveboxes_) {
-    rb->set_reverse(reverse_link_.get());
-  }
+Dumbbell::Dumbbell(Simulator* sim, const DumbbellConfig& config)
+    : sim_(sim), config_(config) {
+  net_ = DumbbellBuilder(config_, &graph_).Build(sim);
 }
 
 Sendbox* Dumbbell::sendbox(int bundle) {
-  return config_.bundler_enabled ? sendboxes_[bundle].get() : nullptr;
+  return config_.bundler_enabled ? net_->sendbox(bundle) : nullptr;
 }
 
 Receivebox* Dumbbell::receivebox(int bundle) {
-  return config_.bundler_enabled ? receiveboxes_[bundle].get() : nullptr;
+  return config_.bundler_enabled ? net_->receivebox(bundle) : nullptr;
 }
 
 Link* Dumbbell::bottleneck_link() {
   BUNDLER_CHECK(config_.num_paths == 1);
-  return bottleneck_link_.get();
+  return net_->link(graph_.bottleneck);
 }
 
 MultipathLink* Dumbbell::multipath() {
   BUNDLER_CHECK(config_.num_paths > 1);
-  return multipath_.get();
+  return net_->multipath(graph_.bottleneck);
 }
 
 size_t Dumbbell::num_paths() const { return static_cast<size_t>(config_.num_paths); }
 
-Link* Dumbbell::path_link(size_t i) {
-  if (config_.num_paths == 1) {
-    BUNDLER_CHECK(i == 0);
-    return bottleneck_link_.get();
-  }
-  return multipath_->path(i);
-}
+Link* Dumbbell::path_link(size_t i) { return net_->path_link(graph_.bottleneck, i); }
 
 }  // namespace bundler

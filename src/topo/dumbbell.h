@@ -9,20 +9,16 @@
 //                                    bottleneck -> rb_0..rb_k
 //   cross_server -> cross_edge ----- /                        \ -> cross_client
 //
+// Since PR 3 this is a preset over the composable NetBuilder
+// (topo/net_builder.h): DumbbellBuilder() declares the graph, Dumbbell wraps
+// the built Net behind the accessors the benches and tests grew up with.
 #ifndef SRC_TOPO_DUMBBELL_H_
 #define SRC_TOPO_DUMBBELL_H_
 
 #include <memory>
 #include <vector>
 
-#include "src/bundler/receivebox.h"
-#include "src/bundler/sendbox.h"
-#include "src/net/link.h"
-#include "src/net/monitors.h"
-#include "src/net/multipath_link.h"
-#include "src/net/router.h"
-#include "src/sim/simulator.h"
-#include "src/transport/endpoint.h"
+#include "src/topo/net_builder.h"
 
 namespace bundler {
 
@@ -52,16 +48,35 @@ SiteId BundleDstSite(int bundle);
 SiteId CrossSrcSite();
 SiteId CrossDstSite();
 
+// Builder-id handles into the dumbbell graph, for callers that want to extend
+// the preset (extra monitors, extra edges) before building it themselves.
+struct DumbbellGraph {
+  std::vector<NetBuilder::NodeId> servers;
+  std::vector<NetBuilder::NodeId> clients;
+  NetBuilder::NodeId cross_server = -1;
+  NetBuilder::NodeId cross_client = -1;
+  NetBuilder::EdgeId bottleneck = -1;
+  NetBuilder::NodeId reverse_agg = -1;  // entry router of the shared reverse path
+  NetBuilder::MonitorId bottleneck_delay = -1;
+  std::vector<NetBuilder::MonitorId> bundle_meters;
+  NetBuilder::MonitorId cross_meter = -1;
+  int64_t buffer_bytes = 0;
+};
+
+// Declares the §7.1 dumbbell on a NetBuilder. `graph` (optional) receives the
+// ids of the pieces callers typically touch.
+NetBuilder DumbbellBuilder(const DumbbellConfig& config, DumbbellGraph* graph = nullptr);
+
 class Dumbbell {
  public:
   Dumbbell(Simulator* sim, const DumbbellConfig& config);
   Dumbbell(const Dumbbell&) = delete;
   Dumbbell& operator=(const Dumbbell&) = delete;
 
-  Host* server(int bundle = 0) { return servers_[bundle].get(); }
-  Host* client(int bundle = 0) { return clients_[bundle].get(); }
-  Host* cross_server() { return cross_server_.get(); }
-  Host* cross_client() { return cross_client_.get(); }
+  Host* server(int bundle = 0) { return net_->host(graph_.servers[static_cast<size_t>(bundle)]); }
+  Host* client(int bundle = 0) { return net_->host(graph_.clients[static_cast<size_t>(bundle)]); }
+  Host* cross_server() { return net_->host(graph_.cross_server); }
+  Host* cross_client() { return net_->host(graph_.cross_client); }
 
   // Null when the bundler is disabled.
   Sendbox* sendbox(int bundle = 0);
@@ -73,56 +88,35 @@ class Dumbbell {
   size_t num_paths() const;
   Link* path_link(size_t i);
 
-  FlowTable* flows() { return &flows_; }
+  FlowTable* flows() { return net_->flows(); }
   Simulator* sim() { return sim_; }
   const DumbbellConfig& config() const { return config_; }
+  Net* net() { return net_.get(); }
 
   // Entry point of the shared reverse path (ACKs + Bundler feedback). Tests
   // interpose fault injectors here via Receivebox::set_reverse.
-  PacketHandler* reverse_path() { return reverse_link_.get(); }
+  PacketHandler* reverse_path() { return net_->router(graph_.reverse_agg); }
 
   // Bottleneck observation: queue delay over all packets, and per-bundle /
   // cross-traffic rate meters (attached to every path).
-  QueueDelayMonitor* bottleneck_delay() { return bottleneck_delay_.get(); }
-  RateMeter* bundle_rate_meter(int bundle = 0) { return bundle_meters_[bundle].get(); }
-  RateMeter* cross_rate_meter() { return cross_meter_.get(); }
+  QueueDelayMonitor* bottleneck_delay() {
+    return net_->queue_monitor(graph_.bottleneck_delay);
+  }
+  RateMeter* bundle_rate_meter(int bundle = 0) {
+    return net_->rate_meter(graph_.bundle_meters[static_cast<size_t>(bundle)]);
+  }
+  RateMeter* cross_rate_meter() { return net_->rate_meter(graph_.cross_meter); }
 
   // Packet predicate for bundle `i`'s data packets.
   static PacketPredicate BundleDataFilter(int bundle);
 
-  int64_t bottleneck_buffer_bytes() const { return buffer_bytes_; }
+  int64_t bottleneck_buffer_bytes() const { return graph_.buffer_bytes; }
 
  private:
-  void BuildForward();
-  void BuildReverse();
-
   Simulator* sim_;
   DumbbellConfig config_;
-  int64_t buffer_bytes_;
-
-  FlowTable flows_;
-
-  std::vector<std::unique_ptr<Host>> servers_;
-  std::vector<std::unique_ptr<Host>> clients_;
-  std::unique_ptr<Host> cross_server_;
-  std::unique_ptr<Host> cross_client_;
-
-  std::vector<std::unique_ptr<Sendbox>> sendboxes_;
-  std::vector<std::unique_ptr<Receivebox>> receiveboxes_;
-  std::vector<std::unique_ptr<Link>> edge_links_;
-  std::unique_ptr<Link> cross_edge_link_;
-
-  std::unique_ptr<Router> bottleneck_router_;
-  std::unique_ptr<Link> bottleneck_link_;
-  std::unique_ptr<MultipathLink> multipath_;
-  std::unique_ptr<Router> dst_router_;
-
-  std::unique_ptr<Link> reverse_link_;
-  std::unique_ptr<Router> reverse_router_;
-
-  std::unique_ptr<QueueDelayMonitor> bottleneck_delay_;
-  std::vector<std::unique_ptr<RateMeter>> bundle_meters_;
-  std::unique_ptr<RateMeter> cross_meter_;
+  DumbbellGraph graph_;
+  std::unique_ptr<Net> net_;
 };
 
 }  // namespace bundler

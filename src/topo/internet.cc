@@ -1,13 +1,19 @@
 #include "src/topo/internet.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/app/workload.h"
-#include "src/topo/dumbbell.h"
 #include "src/transport/udp_pingpong.h"
 #include "src/util/check.h"
+#include "src/util/random.h"
 
 namespace bundler {
+
+namespace {
+constexpr SiteId kHubSite = 10;
+constexpr SiteId kRegionSite = 100;
+}  // namespace
 
 std::vector<WanPathSpec> DefaultWanPaths() {
   // Base RTTs approximate Iowa -> region over the public Internet. Rates are
@@ -34,33 +40,93 @@ const char* WanModeName(WanMode mode) {
   return "?";
 }
 
+NetBuilder WanPathBuilder(const WanPathSpec& spec, bool bundled, WanGraph* graph) {
+  double bdp_bytes = spec.bottleneck_rate.BytesPerSecond() * spec.base_rtt.ToSeconds();
+  int64_t buffer_bytes = std::max<int64_t>(
+      static_cast<int64_t>(bdp_bytes * spec.buffer_bdp), 8 * kMtuBytes);
+
+  NetBuilder b;
+  WanGraph g;
+  g.hub = b.AddSite("hub", kHubSite);
+  g.region = b.AddSite("region", kRegionSite);
+  NetBuilder::NodeId wan_router = b.AddRouter("wan_router");
+  NetBuilder::NodeId region_router = b.AddRouter("region_router");
+  NetBuilder::NodeId hub_router = b.AddRouter("hub_router");
+
+  NetBuilder::LinkSpec hub_edge;
+  hub_edge.rate = Rate::Gbps(1);
+  b.AddLink(g.hub, wan_router, hub_edge, "hub_edge");
+
+  // The provider bottleneck: rate-limited and deep-buffered, somewhere
+  // outside either site.
+  NetBuilder::LinkSpec provider;
+  provider.rate = spec.bottleneck_rate;
+  provider.delay = spec.base_rtt / 2;
+  provider.buffer_bytes = buffer_bytes;
+  g.bottleneck = b.AddLink(wan_router, region_router, provider, "provider_bottleneck");
+  b.AddWire(region_router, g.region);
+
+  NetBuilder::LinkSpec reverse;
+  reverse.rate = Rate::Gbps(1);
+  reverse.delay = spec.base_rtt / 2;
+  reverse.buffer_bytes = 64 * 1024 * 1024;
+  b.AddLink(g.region, hub_router, reverse, "reverse");
+  b.AddWire(hub_router, g.hub);
+
+  if (bundled) {
+    NetBuilder::BundleSpec bundle;
+    bundle.src_site = g.hub;
+    bundle.dst_site = g.region;
+    bundle.ingress_edge = g.bottleneck;
+    bundle.sendbox.scheduler = SchedulerType::kSfq;
+    bundle.sendbox.cc = BundleCcType::kCopa;
+    b.AddBundle(bundle);
+  }
+
+  g.bottleneck_delay = b.AddQueueMonitor(g.bottleneck);
+  if (graph != nullptr) {
+    *graph = g;
+  }
+  return b;
+}
+
 WanRunResult RunWanPath(const WanPathSpec& spec, WanMode mode, TimeDelta duration,
                         TimeDelta warmup, uint64_t seed, int pingpong_pairs,
                         int bulk_flows) {
-  (void)seed;
   Simulator sim;
-  DumbbellConfig cfg;
-  cfg.bottleneck_rate = spec.bottleneck_rate;
-  cfg.rtt = spec.base_rtt;
-  cfg.bottleneck_buffer_bdp = spec.buffer_bdp;
-  cfg.bundler_enabled = mode == WanMode::kBundler;
-  cfg.sendbox.scheduler = SchedulerType::kSfq;
-  cfg.sendbox.cc = BundleCcType::kCopa;
-  Dumbbell net(&sim, cfg);
+  WanGraph g;
+  std::unique_ptr<Net> net = WanPathBuilder(spec, mode == WanMode::kBundler, &g).Build(&sim);
+  Host* hub = net->host(g.hub);
+  Host* region = net->host(g.region);
 
-  // 10 closed-loop UDP request/response pairs; responses (server -> client)
+  // 10 closed-loop UDP request/response pairs; responses (hub -> region)
   // traverse the bundle direction.
   std::vector<UdpPingPongClient*> pingers;
   for (int i = 0; i < pingpong_pairs; ++i) {
-    UdpPingPongClient* c = StartUdpPingPong(net.flows(), net.client(), net.server());
+    UdpPingPongClient* c = StartUdpPingPong(net->flows(), region, hub);
     c->SetRecordingWindow(TimePoint::Zero() + warmup, TimePoint::Zero() + duration);
     pingers.push_back(c);
   }
 
+  // Bulk flows start with seed-derived jitter across the first RTT (real
+  // transfers do not all begin at t=0), so seeded trials sample genuinely
+  // different slow-start interleavings. Flows are created at their start
+  // time; `bulk` outlives the run, so collecting senders from the callback
+  // is safe.
   std::vector<TcpSender*> bulk;
+  FlowTable* flows = net->flows();
   if (mode != WanMode::kBase) {
-    bulk = StartBulkFlows(&sim, net.flows(), net.server(), net.client(), bulk_flows,
-                          HostCcType::kCubic, TimePoint::Zero());
+    bulk.reserve(static_cast<size_t>(bulk_flows));
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    for (int i = 0; i < bulk_flows; ++i) {
+      TimeDelta jitter = TimeDelta::SecondsF(rng.NextDouble() * spec.base_rtt.ToSeconds());
+      sim.Schedule(jitter, [&bulk, flows, hub, region]() {
+        TcpFlowParams params;
+        params.size_bytes = -1;  // backlogged
+        params.cc = HostCcType::kCubic;
+        bulk.push_back(StartTcpFlow(flows, hub, region, params, nullptr));
+      });
+    }
   }
 
   sim.RunUntil(TimePoint::Zero() + duration);
@@ -78,6 +144,7 @@ WanRunResult RunWanPath(const WanPathSpec& spec, WanMode mode, TimeDelta duratio
     result.rtt_ms_p90 = rtts.Quantile(0.90);
     result.rtt_ms_p99 = rtts.Quantile(0.99);
   }
+  result.rtt_ms_samples = rtts.samples();
   double bulk_bytes = 0;
   for (TcpSender* s : bulk) {
     bulk_bytes += static_cast<double>(s->delivered_bytes());

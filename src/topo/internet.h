@@ -6,12 +6,17 @@
 // workload (10 closed-loop 40-byte UDP request/response pairs per bundle,
 // plus 20 backlogged flows), and the same three configurations: Base (no bulk
 // traffic), Status Quo (bulk, no Bundler), and Bundler (bulk + SFQ sendbox).
+//
+// The WAN path is declared on the composable NetBuilder: hub site -> hub edge
+// -> deep-buffered provider bottleneck -> region router -> region site, with
+// a fat reverse link closing the feedback loop.
 #ifndef SRC_TOPO_INTERNET_H_
 #define SRC_TOPO_INTERNET_H_
 
 #include <string>
 #include <vector>
 
+#include "src/topo/net_builder.h"
 #include "src/util/rate.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
@@ -31,6 +36,19 @@ std::vector<WanPathSpec> DefaultWanPaths();
 
 enum class WanMode { kBase, kStatusQuo, kBundler };
 
+// Handles into the WAN graph.
+struct WanGraph {
+  NetBuilder::NodeId hub = -1;     // sendbox site (when bundled)
+  NetBuilder::NodeId region = -1;  // receivebox site
+  NetBuilder::EdgeId bottleneck = -1;
+  NetBuilder::MonitorId bottleneck_delay = -1;
+};
+
+// Declares one hub->region WAN path on a NetBuilder. A bundle (SFQ sendbox,
+// Copa) is attached when `bundled`.
+NetBuilder WanPathBuilder(const WanPathSpec& spec, bool bundled,
+                          WanGraph* graph = nullptr);
+
 struct WanRunResult {
   std::string path;
   WanMode mode;
@@ -39,6 +57,8 @@ struct WanRunResult {
   double rtt_ms_p50 = 0;
   double rtt_ms_p90 = 0;
   double rtt_ms_p99 = 0;
+  // All recorded request-response RTT samples (ms), for cross-seed pooling.
+  std::vector<double> rtt_ms_samples;
   // Aggregate bulk goodput (Mbit/s) over the measurement interval.
   double bulk_goodput_mbps = 0;
 };

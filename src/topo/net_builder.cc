@@ -1,0 +1,639 @@
+#include "src/topo/net_builder.h"
+
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/qdisc/fifo.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+namespace {
+
+std::string FormatRate(Rate rate) {
+  char buf[32];
+  if (rate.Mbps() >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3g Gbit/s", rate.Mbps() / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g Mbit/s", rate.Mbps());
+  }
+  return buf;
+}
+
+std::string FormatDelay(TimeDelta delay) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g ms", delay.ToMillis());
+  return buf;
+}
+
+}  // namespace
+
+NetBuilder::NodeId NetBuilder::CheckNode(NodeId id, const char* what) const {
+  BUNDLER_CHECK_MSG(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                    "%s refers to node %d, but only %zu nodes are declared", what, id,
+                    nodes_.size());
+  return id;
+}
+
+NetBuilder::EdgeId NetBuilder::CheckEdge(EdgeId id, const char* what) const {
+  BUNDLER_CHECK_MSG(id >= 0 && id < static_cast<EdgeId>(edges_.size()),
+                    "%s refers to edge %d, but only %zu edges are declared", what, id,
+                    edges_.size());
+  return id;
+}
+
+NetBuilder::NodeId NetBuilder::AddSite(std::string name, SiteId site) {
+  BUNDLER_CHECK_MSG(!name.empty(), "sites need a name");
+  NodeDecl decl;
+  decl.kind = NodeKind::kSite;
+  decl.name = std::move(name);
+  decl.site = site;
+  nodes_.push_back(std::move(decl));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+NetBuilder::NodeId NetBuilder::AddRouter(std::string name) {
+  BUNDLER_CHECK_MSG(!name.empty(), "routers need a name");
+  NodeDecl decl;
+  decl.kind = NodeKind::kRouter;
+  decl.name = std::move(name);
+  nodes_.push_back(std::move(decl));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+NetBuilder::EdgeId NetBuilder::AddLink(NodeId from, NodeId to, const LinkSpec& spec,
+                                       std::string name) {
+  CheckNode(from, "AddLink(from)");
+  CheckNode(to, "AddLink(to)");
+  BUNDLER_CHECK_MSG(from != to, "link '%s' connects node '%s' to itself", name.c_str(),
+                    nodes_[static_cast<size_t>(from)].name.c_str());
+  BUNDLER_CHECK_MSG(!spec.rate.IsZero(), "link '%s' needs a nonzero rate", name.c_str());
+  BUNDLER_CHECK_MSG(spec.qdisc_factory || spec.buffer_bytes > 0,
+                    "link '%s' needs a positive buffer", name.c_str());
+  EdgeDecl decl;
+  decl.kind = EdgeKind::kLink;
+  decl.name = name.empty() ? "link" + std::to_string(edges_.size()) : std::move(name);
+  decl.from = from;
+  decl.to = to;
+  decl.link = spec;
+  edges_.push_back(std::move(decl));
+  return static_cast<EdgeId>(edges_.size()) - 1;
+}
+
+NetBuilder::EdgeId NetBuilder::AddWire(NodeId from, NodeId to) {
+  CheckNode(from, "AddWire(from)");
+  CheckNode(to, "AddWire(to)");
+  BUNDLER_CHECK_MSG(from != to, "wire connects node '%s' to itself",
+                    nodes_[static_cast<size_t>(from)].name.c_str());
+  EdgeDecl decl;
+  decl.kind = EdgeKind::kWire;
+  decl.name = "wire" + std::to_string(edges_.size());
+  decl.from = from;
+  decl.to = to;
+  edges_.push_back(std::move(decl));
+  return static_cast<EdgeId>(edges_.size()) - 1;
+}
+
+NetBuilder::EdgeId NetBuilder::AddMultipathLink(
+    NodeId from, NodeId to, const std::vector<MultipathLink::PathSpec>& paths,
+    LoadBalanceMode mode, std::string name) {
+  CheckNode(from, "AddMultipathLink(from)");
+  CheckNode(to, "AddMultipathLink(to)");
+  BUNDLER_CHECK_MSG(from != to, "multipath link '%s' connects node '%s' to itself",
+                    name.c_str(), nodes_[static_cast<size_t>(from)].name.c_str());
+  BUNDLER_CHECK_MSG(!paths.empty(), "multipath link '%s' needs >= 1 path", name.c_str());
+  EdgeDecl decl;
+  decl.kind = EdgeKind::kMultipath;
+  decl.name = name.empty() ? "mp" + std::to_string(edges_.size()) : std::move(name);
+  decl.from = from;
+  decl.to = to;
+  decl.paths = paths;
+  decl.lb_mode = mode;
+  edges_.push_back(std::move(decl));
+  return static_cast<EdgeId>(edges_.size()) - 1;
+}
+
+NetBuilder::BundleId NetBuilder::AddBundle(const BundleSpec& spec) {
+  CheckNode(spec.src_site, "AddBundle(src_site)");
+  CheckNode(spec.dst_site, "AddBundle(dst_site)");
+  CheckEdge(spec.ingress_edge, "AddBundle(ingress_edge)");
+  BUNDLER_CHECK_MSG(nodes_[static_cast<size_t>(spec.src_site)].kind == NodeKind::kSite,
+                    "bundle src node '%s' is not a site",
+                    nodes_[static_cast<size_t>(spec.src_site)].name.c_str());
+  BUNDLER_CHECK_MSG(nodes_[static_cast<size_t>(spec.dst_site)].kind == NodeKind::kSite,
+                    "bundle dst node '%s' is not a site",
+                    nodes_[static_cast<size_t>(spec.dst_site)].name.c_str());
+  BUNDLER_CHECK_MSG(spec.src_site != spec.dst_site,
+                    "bundle src and dst are both site '%s'",
+                    nodes_[static_cast<size_t>(spec.src_site)].name.c_str());
+  for (const BundleSpec& other : bundles_) {
+    BUNDLER_CHECK_MSG(other.src_site != spec.src_site,
+                      "two bundles originate at site '%s' (one sendbox per site egress)",
+                      nodes_[static_cast<size_t>(spec.src_site)].name.c_str());
+    // Control addresses are (site, kBundlerCtlHost): a shared destination
+    // site would give both receiveboxes the same self_ctl_addr, and the
+    // first on the path would consume the other bundle's epoch updates.
+    BUNDLER_CHECK_MSG(other.dst_site != spec.dst_site,
+                      "two bundles terminate at site '%s'; their receiveboxes would "
+                      "share one control address",
+                      nodes_[static_cast<size_t>(spec.dst_site)].name.c_str());
+  }
+  bundles_.push_back(spec);
+  return static_cast<BundleId>(bundles_.size()) - 1;
+}
+
+NetBuilder::MonitorId NetBuilder::AddQueueMonitor(EdgeId edge, PacketPredicate filter) {
+  CheckEdge(edge, "AddQueueMonitor");
+  BUNDLER_CHECK_MSG(edges_[static_cast<size_t>(edge)].kind != EdgeKind::kWire,
+                    "queue monitor attached to wire '%s' (wires have no queue)",
+                    edges_[static_cast<size_t>(edge)].name.c_str());
+  MonitorDecl decl;
+  decl.kind = MonitorKind::kQueueDelay;
+  decl.edge = edge;
+  decl.filter = std::move(filter);
+  monitors_.push_back(std::move(decl));
+  return static_cast<MonitorId>(monitors_.size()) - 1;
+}
+
+NetBuilder::MonitorId NetBuilder::AddRateMeter(EdgeId edge, TimeDelta window,
+                                               PacketPredicate filter) {
+  CheckEdge(edge, "AddRateMeter");
+  BUNDLER_CHECK_MSG(edges_[static_cast<size_t>(edge)].kind != EdgeKind::kWire,
+                    "rate meter attached to wire '%s' (wires have no queue)",
+                    edges_[static_cast<size_t>(edge)].name.c_str());
+  MonitorDecl decl;
+  decl.kind = MonitorKind::kRateMeter;
+  decl.edge = edge;
+  decl.window = window;
+  decl.filter = std::move(filter);
+  monitors_.push_back(std::move(decl));
+  return static_cast<MonitorId>(monitors_.size()) - 1;
+}
+
+void NetBuilder::Validate() const {
+  BUNDLER_CHECK_MSG(!nodes_.empty(), "topology has no nodes");
+
+  std::unordered_set<std::string> names;
+  std::unordered_map<SiteId, const NodeDecl*> sites;
+  for (const NodeDecl& node : nodes_) {
+    BUNDLER_CHECK_MSG(names.insert(node.name).second, "duplicate node name '%s'",
+                      node.name.c_str());
+    if (node.kind == NodeKind::kSite) {
+      auto [it, inserted] = sites.emplace(node.site, &node);
+      BUNDLER_CHECK_MSG(inserted, "sites '%s' and '%s' share site id %u",
+                        it->second->name.c_str(), node.name.c_str(),
+                        static_cast<unsigned>(node.site));
+    }
+  }
+
+  // Every site needs exactly one egress edge: zero leaves its host unable to
+  // send (a dangling site), more than one is ambiguous — put a router behind
+  // the site instead.
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].kind != NodeKind::kSite) {
+      continue;
+    }
+    size_t egress = 0;
+    for (const EdgeDecl& edge : edges_) {
+      if (edge.from == static_cast<NodeId>(n)) {
+        ++egress;
+      }
+    }
+    BUNDLER_CHECK_MSG(egress == 1,
+                      "site '%s' has %zu egress edges; a site needs exactly one",
+                      nodes_[n].name.c_str(), egress);
+  }
+}
+
+std::unique_ptr<Net> NetBuilder::Build(Simulator* sim) const {
+  BUNDLER_CHECK(sim != nullptr);
+  Validate();
+
+  std::unique_ptr<Net> net(new Net(sim));
+
+  // --- Phase 1: nodes (passive). ---
+  net->hosts_.resize(nodes_.size());
+  net->routers_.resize(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeDecl& node = nodes_[n];
+    if (node.kind == NodeKind::kSite) {
+      net->hosts_[n] = std::make_unique<Host>(sim, MakeAddress(node.site, kSiteHost),
+                                              /*egress=*/nullptr);
+    } else {
+      net->routers_[n] = std::make_unique<Router>(node.name);
+    }
+  }
+  auto node_entry = [&](NodeId n) -> PacketHandler* {
+    if (nodes_[static_cast<size_t>(n)].kind == NodeKind::kSite) {
+      return net->hosts_[static_cast<size_t>(n)].get();
+    }
+    return net->routers_[static_cast<size_t>(n)].get();
+  };
+
+  // --- Phase 2: links (passive until packets arrive). Destinations are wired
+  // after receivebox chains exist. ---
+  net->links_.resize(edges_.size());
+  net->multipaths_.resize(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const EdgeDecl& edge = edges_[e];
+    if (edge.kind == EdgeKind::kLink) {
+      std::unique_ptr<Qdisc> queue = edge.link.qdisc_factory
+                                         ? edge.link.qdisc_factory()
+                                         : std::make_unique<DropTailFifo>(
+                                               edge.link.buffer_bytes);
+      net->links_[e] = std::make_unique<Link>(sim, edge.name, edge.link.rate,
+                                              edge.link.delay, std::move(queue),
+                                              /*dst=*/nullptr);
+    } else if (edge.kind == EdgeKind::kMultipath) {
+      net->multipaths_[e] = std::make_unique<MultipathLink>(
+          sim, edge.name, edge.paths, edge.lb_mode, /*dst=*/nullptr);
+    }
+  }
+
+  // --- Phase 3: monitors, in declaration order (passive; attach order on a
+  // link follows declaration order). ---
+  net->queue_monitors_.resize(monitors_.size());
+  net->rate_meters_.resize(monitors_.size());
+  for (size_t m = 0; m < monitors_.size(); ++m) {
+    const MonitorDecl& mon = monitors_[m];
+    LinkObserver* obs;
+    if (mon.kind == MonitorKind::kQueueDelay) {
+      net->queue_monitors_[m] = std::make_unique<QueueDelayMonitor>(mon.filter);
+      obs = net->queue_monitors_[m].get();
+    } else {
+      net->rate_meters_[m] = std::make_unique<RateMeter>(sim, mon.window, mon.filter);
+      obs = net->rate_meters_[m].get();
+    }
+    size_t e = static_cast<size_t>(mon.edge);
+    if (net->links_[e] != nullptr) {
+      net->links_[e]->AddObserver(obs);
+    } else {
+      MultipathLink* mp = net->multipaths_[e].get();
+      for (size_t p = 0; p < mp->num_paths(); ++p) {
+        mp->path(p)->AddObserver(obs);
+      }
+    }
+  }
+
+  // --- Phase 4: receivebox chains. On each edge, the first-declared bundle's
+  // receivebox receives first; constructing in reverse declaration order lets
+  // every box take its forward pointer at construction (receiveboxes are
+  // passive, so construction order is free). ---
+  net->receiveboxes_.resize(bundles_.size());
+  std::vector<PacketHandler*> delivery(edges_.size(), nullptr);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    delivery[e] = node_entry(edges_[e].to);
+  }
+  for (size_t b = bundles_.size(); b-- > 0;) {
+    const BundleSpec& bundle = bundles_[b];
+    const NodeDecl& src = nodes_[static_cast<size_t>(bundle.src_site)];
+    const NodeDecl& dst = nodes_[static_cast<size_t>(bundle.dst_site)];
+    Receivebox::Config rc;
+    rc.bundle_src_site = src.site;
+    rc.bundle_dst_site = dst.site;
+    rc.self_ctl_addr = MakeAddress(dst.site, kBundlerCtlHost);
+    rc.sendbox_ctl_addr = MakeAddress(src.site, kBundlerCtlHost);
+    rc.initial_epoch_pkts = bundle.sendbox.initial_epoch_pkts;
+    size_t e = static_cast<size_t>(bundle.ingress_edge);
+    net->receiveboxes_[b] = std::make_unique<Receivebox>(
+        sim, rc, /*forward=*/delivery[e], /*reverse=*/nullptr);
+    delivery[e] = net->receiveboxes_[b].get();
+  }
+
+  // --- Phase 5: edge entries + link destinations. ---
+  net->edge_entries_.resize(edges_.size(), nullptr);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    switch (edges_[e].kind) {
+      case EdgeKind::kLink:
+        net->links_[e]->set_dst(delivery[e]);
+        net->edge_entries_[e] = net->links_[e].get();
+        break;
+      case EdgeKind::kMultipath:
+        net->multipaths_[e]->set_dst(delivery[e]);
+        net->edge_entries_[e] = net->multipaths_[e].get();
+        break;
+      case EdgeKind::kWire:
+        net->edge_entries_[e] = delivery[e];
+        break;
+    }
+  }
+
+  // Each site's single egress edge (validated above).
+  std::vector<EdgeId> site_egress(nodes_.size(), -1);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (nodes_[static_cast<size_t>(edges_[e].from)].kind == NodeKind::kSite) {
+      site_egress[static_cast<size_t>(edges_[e].from)] = static_cast<EdgeId>(e);
+    }
+  }
+
+  // --- Phase 6: sendboxes, in bundle declaration order. This is the only
+  // construction that schedules events (the control tick), so declaration
+  // order fixes the event-id assignment and with it byte-level determinism. ---
+  net->sendboxes_.resize(bundles_.size());
+  for (size_t b = 0; b < bundles_.size(); ++b) {
+    const BundleSpec& bundle = bundles_[b];
+    const NodeDecl& src = nodes_[static_cast<size_t>(bundle.src_site)];
+    const NodeDecl& dst = nodes_[static_cast<size_t>(bundle.dst_site)];
+    Sendbox::Config sc = bundle.sendbox;
+    sc.local_site = src.site;
+    sc.remote_site = dst.site;
+    sc.ctl_addr = MakeAddress(src.site, kBundlerCtlHost);
+    sc.receivebox_ctl_addr = MakeAddress(dst.site, kBundlerCtlHost);
+    EdgeId egress = site_egress[static_cast<size_t>(bundle.src_site)];
+    net->sendboxes_[b] = std::make_unique<Sendbox>(
+        sim, sc, net->edge_entries_[static_cast<size_t>(egress)]);
+  }
+
+  // --- Phase 7: routing tables. Per router, a breadth-first search over
+  // edges (declaration order breaks ties, so routes are deterministic);
+  // site nodes are endpoints, never transit. ---
+  std::vector<std::vector<EdgeId>> out_edges(nodes_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    out_edges[static_cast<size_t>(edges_[e].from)].push_back(static_cast<EdgeId>(e));
+  }
+  // first_hop[r][n]: first edge out of router r on a shortest path to node n,
+  // or -1. Filled for every router; reused by the bundle path validation.
+  std::vector<std::vector<EdgeId>> first_hop(
+      nodes_.size(), std::vector<EdgeId>(nodes_.size(), -1));
+  for (size_t r = 0; r < nodes_.size(); ++r) {
+    if (nodes_[r].kind != NodeKind::kRouter) {
+      continue;
+    }
+    std::deque<NodeId> frontier{static_cast<NodeId>(r)};
+    std::vector<bool> seen(nodes_.size(), false);
+    seen[r] = true;
+    while (!frontier.empty()) {
+      NodeId at = frontier.front();
+      frontier.pop_front();
+      // Only the start router and intermediate routers forward packets.
+      if (at != static_cast<NodeId>(r) &&
+          nodes_[static_cast<size_t>(at)].kind == NodeKind::kSite) {
+        continue;
+      }
+      for (EdgeId e : out_edges[static_cast<size_t>(at)]) {
+        NodeId to = edges_[static_cast<size_t>(e)].to;
+        if (seen[static_cast<size_t>(to)]) {
+          continue;
+        }
+        seen[static_cast<size_t>(to)] = true;
+        first_hop[r][static_cast<size_t>(to)] =
+            at == static_cast<NodeId>(r) ? e : first_hop[r][static_cast<size_t>(at)];
+        frontier.push_back(to);
+      }
+    }
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      if (nodes_[n].kind != NodeKind::kSite || first_hop[r][n] < 0) {
+        continue;
+      }
+      net->routers_[r]->AddSiteRoute(
+          nodes_[n].site, net->edge_entries_[static_cast<size_t>(first_hop[r][n])]);
+    }
+  }
+
+  // Every site must be deliverable-to by some router, else it is dangling.
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].kind != NodeKind::kSite) {
+      continue;
+    }
+    bool reachable = false;
+    for (size_t r = 0; r < nodes_.size() && !reachable; ++r) {
+      reachable = nodes_[r].kind == NodeKind::kRouter && first_hop[r][n] >= 0;
+    }
+    BUNDLER_CHECK_MSG(reachable, "site '%s' is unreachable from every router",
+                      nodes_[n].name.c_str());
+  }
+
+  // --- Phase 8: bundle plumbing that depends on routes. ---
+  // Walks next hops from `from_site`'s egress toward `to_site`; returns the
+  // edges traversed, or an empty list when the route never arrives.
+  auto route_edges = [&](NodeId from_site, NodeId to_site) {
+    std::vector<EdgeId> path;
+    EdgeId e = site_egress[static_cast<size_t>(from_site)];
+    for (size_t hops = 0; hops <= nodes_.size(); ++hops) {
+      path.push_back(e);
+      NodeId at = edges_[static_cast<size_t>(e)].to;
+      if (at == to_site) {
+        return path;
+      }
+      if (nodes_[static_cast<size_t>(at)].kind != NodeKind::kRouter ||
+          first_hop[static_cast<size_t>(at)][static_cast<size_t>(to_site)] < 0) {
+        break;
+      }
+      e = first_hop[static_cast<size_t>(at)][static_cast<size_t>(to_site)];
+    }
+    path.clear();
+    return path;
+  };
+
+  for (size_t b = 0; b < bundles_.size(); ++b) {
+    const BundleSpec& bundle = bundles_[b];
+    const NodeDecl& src = nodes_[static_cast<size_t>(bundle.src_site)];
+    const NodeDecl& dst = nodes_[static_cast<size_t>(bundle.dst_site)];
+
+    std::vector<EdgeId> forward = route_edges(bundle.src_site, bundle.dst_site);
+    BUNDLER_CHECK_MSG(!forward.empty(),
+                      "bundle %zu: no forward route from site '%s' to site '%s'", b,
+                      src.name.c_str(), dst.name.c_str());
+    bool crosses_ingress = false;
+    for (EdgeId e : forward) {
+      crosses_ingress = crosses_ingress || e == bundle.ingress_edge;
+    }
+    BUNDLER_CHECK_MSG(
+        crosses_ingress,
+        "bundle %zu: forward route from site '%s' to site '%s' does not traverse "
+        "ingress edge '%s' — the receivebox would never see the bundle",
+        b, src.name.c_str(), dst.name.c_str(),
+        edges_[static_cast<size_t>(bundle.ingress_edge)].name.c_str());
+    BUNDLER_CHECK_MSG(
+        !route_edges(bundle.dst_site, bundle.src_site).empty(),
+        "bundle %zu: no reverse route from site '%s' back to site '%s' — the "
+        "out-of-band feedback loop cannot close",
+        b, dst.name.c_str(), src.name.c_str());
+
+    // Feedback addressed to the sendbox control address must reach the
+    // sendbox itself, not the source host: rewrite the final-hop routers.
+    Address ctl = MakeAddress(src.site, kBundlerCtlHost);
+    for (size_t r = 0; r < nodes_.size(); ++r) {
+      if (nodes_[r].kind != NodeKind::kRouter) {
+        continue;
+      }
+      EdgeId e = first_hop[r][static_cast<size_t>(bundle.src_site)];
+      if (e >= 0 && edges_[static_cast<size_t>(e)].to == bundle.src_site) {
+        net->routers_[r]->AddAddressRoute(ctl, net->sendboxes_[b].get());
+      }
+    }
+
+    // Feedback is injected as if sent by the destination site.
+    net->receiveboxes_[b]->set_reverse(
+        net->edge_entries_[static_cast<size_t>(
+            site_egress[static_cast<size_t>(bundle.dst_site)])]);
+  }
+
+  // --- Phase 9: host egress (through the sendbox where one is attached). ---
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].kind != NodeKind::kSite) {
+      continue;
+    }
+    PacketHandler* egress =
+        net->edge_entries_[static_cast<size_t>(site_egress[n])];
+    for (size_t b = 0; b < bundles_.size(); ++b) {
+      if (bundles_[b].src_site == static_cast<NodeId>(n)) {
+        egress = net->sendboxes_[b].get();
+      }
+    }
+    net->hosts_[n]->set_egress(egress);
+  }
+
+  return net;
+}
+
+std::string NetBuilder::ToDot(const std::string& graph_name) const {
+  std::string dot = "digraph \"" + graph_name + "\" {\n";
+  dot += "  rankdir=LR;\n  node [fontsize=10]; edge [fontsize=9];\n";
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeDecl& node = nodes_[n];
+    std::string label = node.name;
+    if (node.kind == NodeKind::kSite) {
+      label += "\\nsite " + std::to_string(node.site);
+    }
+    for (size_t b = 0; b < bundles_.size(); ++b) {
+      if (bundles_[b].src_site == static_cast<NodeId>(n)) {
+        label += "\\n[sendbox b" + std::to_string(b) + "]";
+      }
+      if (bundles_[b].dst_site == static_cast<NodeId>(n)) {
+        label += "\\n[bundle b" + std::to_string(b) + " dst]";
+      }
+    }
+    dot += "  n" + std::to_string(n) + " [label=\"" + label + "\", shape=" +
+           (node.kind == NodeKind::kSite ? "box" : "ellipse") + "];\n";
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const EdgeDecl& edge = edges_[e];
+    std::string attrs;
+    switch (edge.kind) {
+      case EdgeKind::kLink:
+        attrs = "label=\"" + edge.name + "\\n" + FormatRate(edge.link.rate) + ", " +
+                FormatDelay(edge.link.delay);
+        break;
+      case EdgeKind::kMultipath:
+        attrs = "label=\"" + edge.name + "\\n" + std::to_string(edge.paths.size()) +
+                " paths";
+        break;
+      case EdgeKind::kWire:
+        attrs = "style=dashed, label=\"";
+        break;
+    }
+    for (size_t b = 0; b < bundles_.size(); ++b) {
+      if (bundles_[b].ingress_edge == static_cast<EdgeId>(e)) {
+        attrs += "\\n[receivebox b" + std::to_string(b) + "]";
+      }
+    }
+    for (size_t m = 0; m < monitors_.size(); ++m) {
+      if (monitors_[m].edge == static_cast<EdgeId>(e)) {
+        attrs += monitors_[m].kind == MonitorKind::kQueueDelay ? "\\n(qmon)"
+                                                               : "\\n(meter)";
+      }
+    }
+    dot += "  n" + std::to_string(edge.from) + " -> n" + std::to_string(edge.to) +
+           " [" + attrs + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+Net::~Net() = default;
+
+Host* Net::host(NetBuilder::NodeId node) {
+  BUNDLER_CHECK_MSG(node >= 0 && static_cast<size_t>(node) < hosts_.size() &&
+                        hosts_[static_cast<size_t>(node)] != nullptr,
+                    "node %d is not a site", node);
+  return hosts_[static_cast<size_t>(node)].get();
+}
+
+Host* Net::host_at_site(SiteId site) {
+  for (auto& host : hosts_) {
+    if (host != nullptr && SiteOf(host->address()) == site) {
+      return host.get();
+    }
+  }
+  BUNDLER_CHECK_MSG(false, "no site with id %u", static_cast<unsigned>(site));
+  return nullptr;
+}
+
+Router* Net::router(NetBuilder::NodeId node) {
+  BUNDLER_CHECK_MSG(node >= 0 && static_cast<size_t>(node) < routers_.size() &&
+                        routers_[static_cast<size_t>(node)] != nullptr,
+                    "node %d is not a router", node);
+  return routers_[static_cast<size_t>(node)].get();
+}
+
+Link* Net::link(NetBuilder::EdgeId edge) {
+  BUNDLER_CHECK_MSG(edge >= 0 && static_cast<size_t>(edge) < links_.size() &&
+                        links_[static_cast<size_t>(edge)] != nullptr,
+                    "edge %d is not a plain link", edge);
+  return links_[static_cast<size_t>(edge)].get();
+}
+
+MultipathLink* Net::multipath(NetBuilder::EdgeId edge) {
+  BUNDLER_CHECK_MSG(edge >= 0 && static_cast<size_t>(edge) < multipaths_.size() &&
+                        multipaths_[static_cast<size_t>(edge)] != nullptr,
+                    "edge %d is not a multipath link", edge);
+  return multipaths_[static_cast<size_t>(edge)].get();
+}
+
+size_t Net::num_paths(NetBuilder::EdgeId edge) {
+  BUNDLER_CHECK_MSG(edge >= 0 && static_cast<size_t>(edge) < edge_entries_.size(),
+                    "no edge %d", edge);
+  if (multipaths_[static_cast<size_t>(edge)] != nullptr) {
+    return multipaths_[static_cast<size_t>(edge)]->num_paths();
+  }
+  BUNDLER_CHECK_MSG(links_[static_cast<size_t>(edge)] != nullptr,
+                    "edge %d is a wire; wires have no transmission paths", edge);
+  return 1;
+}
+
+Link* Net::path_link(NetBuilder::EdgeId edge, size_t path) {
+  if (static_cast<size_t>(edge) < multipaths_.size() &&
+      multipaths_[static_cast<size_t>(edge)] != nullptr) {
+    return multipaths_[static_cast<size_t>(edge)]->path(path);
+  }
+  BUNDLER_CHECK(path == 0);
+  return link(edge);
+}
+
+PacketHandler* Net::edge_entry(NetBuilder::EdgeId edge) {
+  BUNDLER_CHECK_MSG(edge >= 0 && static_cast<size_t>(edge) < edge_entries_.size(),
+                    "no edge %d", edge);
+  return edge_entries_[static_cast<size_t>(edge)];
+}
+
+Sendbox* Net::sendbox(NetBuilder::BundleId bundle) {
+  BUNDLER_CHECK_MSG(bundle >= 0 && static_cast<size_t>(bundle) < sendboxes_.size(),
+                    "no bundle %d", bundle);
+  return sendboxes_[static_cast<size_t>(bundle)].get();
+}
+
+Receivebox* Net::receivebox(NetBuilder::BundleId bundle) {
+  BUNDLER_CHECK_MSG(bundle >= 0 && static_cast<size_t>(bundle) < receiveboxes_.size(),
+                    "no bundle %d", bundle);
+  return receiveboxes_[static_cast<size_t>(bundle)].get();
+}
+
+QueueDelayMonitor* Net::queue_monitor(NetBuilder::MonitorId id) {
+  BUNDLER_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < queue_monitors_.size() &&
+                        queue_monitors_[static_cast<size_t>(id)] != nullptr,
+                    "monitor %d is not a queue monitor", id);
+  return queue_monitors_[static_cast<size_t>(id)].get();
+}
+
+RateMeter* Net::rate_meter(NetBuilder::MonitorId id) {
+  BUNDLER_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < rate_meters_.size() &&
+                        rate_meters_[static_cast<size_t>(id)] != nullptr,
+                    "monitor %d is not a rate meter", id);
+  return rate_meters_[static_cast<size_t>(id)].get();
+}
+
+}  // namespace bundler

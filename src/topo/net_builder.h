@@ -1,0 +1,194 @@
+// Composable topology-graph API. Callers declare a network — sites (one host
+// each), routers, links (rate / delay / buffer / qdisc per edge), zero-cost
+// wires, load-balanced multipath edges — then attach sendbox/receivebox pairs
+// to chosen edges and monitors to chosen links, and finally Build(Simulator*)
+// validates the graph (dangling endpoints, duplicate sites, missing egress,
+// bundles whose feedback loop cannot close -> CHECK with a readable message)
+// and materializes hosts, routing tables, reverse paths, and per-bundle
+// plumbing. The paper's dumbbell (topo/dumbbell.h) and WAN paths
+// (topo/internet.h) are thin presets over this builder; new shapes
+// (parking-lot multi-bottleneck, asymmetric reverse paths, ...) are a few
+// declarations instead of bespoke constructor plumbing.
+//
+// Determinism contract: Build materializes event-scheduling components (only
+// sendboxes schedule at construction) in declaration order, so two builders
+// declaring the same graph in the same order drive byte-identical
+// simulations.
+#ifndef SRC_TOPO_NET_BUILDER_H_
+#define SRC_TOPO_NET_BUILDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bundler/receivebox.h"
+#include "src/bundler/sendbox.h"
+#include "src/net/link.h"
+#include "src/net/monitors.h"
+#include "src/net/multipath_link.h"
+#include "src/net/router.h"
+#include "src/qdisc/qdisc.h"
+#include "src/sim/simulator.h"
+#include "src/transport/endpoint.h"
+
+namespace bundler {
+
+// Host number used for Bundler out-of-band control addresses within a site.
+inline constexpr uint16_t kBundlerCtlHost = 0xFFFE;
+// Host number of the one endpoint host a site node materializes.
+inline constexpr uint16_t kSiteHost = 1;
+
+class Net;
+
+class NetBuilder {
+ public:
+  using NodeId = int;
+  using EdgeId = int;
+  using BundleId = int;
+  using MonitorId = int;
+
+  // Per-link configuration. The default queue is a byte-limited drop-tail
+  // FIFO; `qdisc_factory` overrides it (e.g. DRR for an in-network fair
+  // queueing hop).
+  struct LinkSpec {
+    Rate rate = Rate::Gbps(1);
+    TimeDelta delay = TimeDelta::Zero();
+    int64_t buffer_bytes = 16 * 1024 * 1024;
+    std::function<std::unique_ptr<Qdisc>()> qdisc_factory;
+  };
+
+  // A sendbox-receivebox pair. The sendbox interposes on `src_site`'s egress
+  // edge; the receivebox interposes at the delivery end of `ingress_edge`
+  // (which must lie on the forward route from src to dst). Site, address and
+  // epoch fields of `sendbox` are filled in by the builder.
+  struct BundleSpec {
+    NodeId src_site = -1;
+    NodeId dst_site = -1;
+    EdgeId ingress_edge = -1;
+    Sendbox::Config sendbox;
+  };
+
+  // --- Graph declaration (ids are dense, in declaration order) ---
+  NodeId AddSite(std::string name, SiteId site);
+  NodeId AddRouter(std::string name);
+  EdgeId AddLink(NodeId from, NodeId to, const LinkSpec& spec, std::string name = "");
+  // Zero-cost synchronous handoff (e.g. router -> attached site).
+  EdgeId AddWire(NodeId from, NodeId to);
+  EdgeId AddMultipathLink(NodeId from, NodeId to,
+                          const std::vector<MultipathLink::PathSpec>& paths,
+                          LoadBalanceMode mode, std::string name = "");
+
+  BundleId AddBundle(const BundleSpec& spec);
+
+  // Monitors observe links (every path of a multipath edge). Attach order on
+  // a link follows declaration order.
+  MonitorId AddQueueMonitor(EdgeId edge, PacketPredicate filter = nullptr);
+  MonitorId AddRateMeter(EdgeId edge, TimeDelta window, PacketPredicate filter = nullptr);
+
+  // --- Introspection ---
+  // Graphviz DOT of the declared graph: sites, routers, links (rate/delay),
+  // bundle attachments and monitors. Does not require Build.
+  std::string ToDot(const std::string& graph_name = "net") const;
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_bundles() const { return bundles_.size(); }
+
+  // Validates the declared graph and materializes it into `sim`. CHECK-fails
+  // with a readable message on graph errors. May be called more than once
+  // (each call builds an independent Net).
+  std::unique_ptr<Net> Build(Simulator* sim) const;
+
+ private:
+  friend class Net;
+
+  enum class NodeKind { kSite, kRouter };
+  enum class EdgeKind { kLink, kWire, kMultipath };
+
+  struct NodeDecl {
+    NodeKind kind;
+    std::string name;
+    SiteId site = 0;  // kSite only
+  };
+  struct EdgeDecl {
+    EdgeKind kind;
+    std::string name;
+    NodeId from = -1;
+    NodeId to = -1;
+    LinkSpec link;                               // kLink only
+    std::vector<MultipathLink::PathSpec> paths;  // kMultipath only
+    LoadBalanceMode lb_mode = LoadBalanceMode::kFlowHash;
+  };
+  enum class MonitorKind { kQueueDelay, kRateMeter };
+  struct MonitorDecl {
+    MonitorKind kind;
+    EdgeId edge = -1;
+    TimeDelta window = TimeDelta::Zero();  // kRateMeter only
+    PacketPredicate filter;
+  };
+
+  NodeId CheckNode(NodeId id, const char* what) const;
+  EdgeId CheckEdge(EdgeId id, const char* what) const;
+  void Validate() const;
+
+  std::vector<NodeDecl> nodes_;
+  std::vector<EdgeDecl> edges_;
+  std::vector<BundleSpec> bundles_;
+  std::vector<MonitorDecl> monitors_;
+};
+
+// The materialized network. Owns every component; accessors hand out raw
+// pointers valid for the Net's lifetime. Ids are the builder's ids.
+class Net {
+ public:
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
+  ~Net();
+
+  Simulator* sim() { return sim_; }
+  FlowTable* flows() { return &flows_; }
+
+  Host* host(NetBuilder::NodeId node);
+  Host* host_at_site(SiteId site);  // CHECK-fails when no such site
+  Router* router(NetBuilder::NodeId node);
+
+  // Plain link of a kLink edge (CHECK-fails for wires / multipath edges).
+  Link* link(NetBuilder::EdgeId edge);
+  MultipathLink* multipath(NetBuilder::EdgeId edge);
+  // Uniform per-path view: a plain link has one path (itself).
+  size_t num_paths(NetBuilder::EdgeId edge);
+  Link* path_link(NetBuilder::EdgeId edge, size_t path);
+  // The handler packets enter when traversing this edge (the link itself, or
+  // for wires the delivery chain). This is what a site's egress points at.
+  PacketHandler* edge_entry(NetBuilder::EdgeId edge);
+
+  // Null when the edge carries no such attachment.
+  Sendbox* sendbox(NetBuilder::BundleId bundle);
+  Receivebox* receivebox(NetBuilder::BundleId bundle);
+
+  QueueDelayMonitor* queue_monitor(NetBuilder::MonitorId id);
+  RateMeter* rate_meter(NetBuilder::MonitorId id);
+
+ private:
+  friend class NetBuilder;
+  explicit Net(Simulator* sim) : sim_(sim) {}
+
+  Simulator* sim_;
+  FlowTable flows_;
+
+  // Indexed by builder ids; entries are null where the id is a different
+  // kind (e.g. routers_ at a site node's id).
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<MultipathLink>> multipaths_;
+  std::vector<PacketHandler*> edge_entries_;
+  std::vector<std::unique_ptr<Sendbox>> sendboxes_;
+  std::vector<std::unique_ptr<Receivebox>> receiveboxes_;
+  std::vector<std::unique_ptr<QueueDelayMonitor>> queue_monitors_;
+  std::vector<std::unique_ptr<RateMeter>> rate_meters_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_TOPO_NET_BUILDER_H_

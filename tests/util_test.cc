@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <utility>
 
 #include "src/util/fft.h"
 #include "src/util/fnv.h"
 #include "src/util/random.h"
 #include "src/util/rate.h"
+#include "src/util/ring_buffer.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/util/time.h"
@@ -233,6 +236,74 @@ TEST(RngTest, WeightedChoice) {
 TEST(TableTest, FormatsNumbers) {
   EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::Pct(0.283, 1), "28.3%");
+}
+
+TEST(RingBufferTest, FifoOrderAcrossGrowthAndWraparound) {
+  RingBuffer<int> ring;
+  EXPECT_TRUE(ring.empty());
+  // Interleave pushes and pops so head walks around the ring while the
+  // buffer grows past its initial capacity several times.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      ring.push_back(next_push++);
+    }
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(ring.front(), next_pop);
+      EXPECT_EQ(ring.pop_front(), next_pop++);
+    }
+  }
+  EXPECT_EQ(ring.size(), 400u);
+  while (!ring.empty()) {
+    EXPECT_EQ(ring.pop_front(), next_pop++);
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(RingBufferTest, PopBackTrimsTheTail) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 10; ++i) {
+    ring.push_back(i);
+  }
+  EXPECT_EQ(ring.back(), 9);
+  EXPECT_EQ(ring.pop_back(), 9);
+  EXPECT_EQ(ring.pop_front(), 0);
+  EXPECT_EQ(ring.back(), 8);
+  EXPECT_EQ(ring.size(), 8u);
+}
+
+TEST(RingBufferTest, MoveOnlyElementsAndContainerMove) {
+  RingBuffer<std::unique_ptr<int>> ring;
+  for (int i = 0; i < 40; ++i) {
+    ring.push_back(std::make_unique<int>(i));
+  }
+  RingBuffer<std::unique_ptr<int>> moved = std::move(ring);
+  EXPECT_EQ(moved.size(), 40u);
+  EXPECT_EQ(*moved.pop_front(), 0);
+  EXPECT_EQ(*moved.pop_back(), 39);
+  moved.clear();
+  EXPECT_TRUE(moved.empty());
+  // A cleared ring is reusable without reallocating.
+  size_t cap = moved.capacity();
+  moved.push_back(std::make_unique<int>(7));
+  EXPECT_EQ(moved.capacity(), cap);
+  EXPECT_EQ(*moved.back(), 7);
+}
+
+TEST(RingBufferTest, SteadyStateDoesNotReallocate) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 48; ++i) {  // below the grown capacity
+    ring.push_back(i);
+  }
+  size_t cap = ring.capacity();
+  ASSERT_GT(cap, 48u);
+  for (int i = 0; i < 10000; ++i) {
+    ring.push_back(i);
+    (void)ring.pop_front();
+  }
+  EXPECT_EQ(ring.capacity(), cap);
+  EXPECT_EQ(ring.size(), 48u);
 }
 
 }  // namespace
