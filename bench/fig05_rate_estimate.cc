@@ -23,7 +23,9 @@ void Run() {
               r.rate_diff_mbps.count());
   Table t({"quantile", "diff (Mbit/s)"});
   for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
-    t.AddRow({"p" + std::to_string(static_cast<int>(q * 100)),
+    char label[8];
+    std::snprintf(label, sizeof(label), "p%d", static_cast<int>(q * 100));
+    t.AddRow({label,
               Table::Num(r.rate_diff_mbps.Quantile(q))});
   }
   t.Print();

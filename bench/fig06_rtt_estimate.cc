@@ -21,7 +21,9 @@ void Run() {
               r.rtt_diff_ms.count());
   Table t({"quantile", "diff (ms)"});
   for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
-    t.AddRow({"p" + std::to_string(static_cast<int>(q * 100)),
+    char label[8];
+    std::snprintf(label, sizeof(label), "p%d", static_cast<int>(q * 100));
+    t.AddRow({label,
               Table::Num(r.rtt_diff_ms.Quantile(q))});
   }
   t.Print();

@@ -26,12 +26,14 @@
 #include <vector>
 
 #include "src/bundler/epoch.h"
+#include "src/net/link.h"
 #include "src/qdisc/fifo.h"
 #include "src/qdisc/fq_codel.h"
 #include "src/qdisc/prio.h"
 #include "src/qdisc/sfq.h"
 #include "src/sim/event_queue.h"
 #include "src/topo/scenario.h"
+#include "src/transport/tcp_flow.h"
 #include "src/util/fnv.h"
 #include "src/util/table.h"
 
@@ -291,6 +293,56 @@ BenchResult BenchPeriodicDispatch() {
   return r;
 }
 
+// TCP loss recovery under a steady lossy window: a backlogged flow holding a
+// constant 450-packet window over a 480 Mbit/s / 40 ms path that drops every
+// 23rd packet (~4.3%), so the sender cycles through SACK marking, hole
+// reveals, hole retransmission, and lost-retransmit detection continuously
+// at full window — the exact operation mix the scoreboard serves, with
+// hundreds of marked segments resident (an adaptive controller would shrink
+// the window to a handful of packets at this loss rate and leave the
+// scoreboard nearly idle). Ops are simulator events; the scoreboard,
+// receiver interval set, qdisc rings, and event engine together must make
+// this allocation-free in steady state.
+BenchResult BenchTcpRecoveryChurn() {
+  Simulator sim;
+  FlowTable flows;
+  Host a(&sim, MakeAddress(1, 1), nullptr);
+  Host b(&sim, MakeAddress(2, 1), nullptr);
+  Link ba(&sim, "ba", Rate::Mbps(480), TimeDelta::Millis(20),
+          std::make_unique<DropTailFifo>(int64_t{1} << 22), &a);
+  Link ab(&sim, "ab", Rate::Mbps(480), TimeDelta::Millis(20),
+          std::make_unique<DropTailFifo>(int64_t{1} << 22), &b);
+  uint64_t count = 0;
+  LambdaHandler mangler([&](Packet p) {
+    if (++count % 23 != 0) {
+      ab.HandlePacket(std::move(p));
+    }
+  });
+  a.set_egress(&mangler);
+  b.set_egress(&ba);
+  TcpFlowParams params;
+  params.size_bytes = -1;  // backlogged: recovery never ends for lack of data
+  params.cc = HostCcType::kConstCwnd;
+  params.const_cwnd_pkts = 450.0;
+  StartTcpFlow(&flows, &a, &b, params, nullptr);
+
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(2));  // warmup
+  uint64_t allocs_before = g_heap_allocs;
+  uint64_t events_before = sim.events_dispatched();
+  Clock::time_point start = Clock::now();
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(12));
+  Clock::time_point end = Clock::now();
+  double sec = std::chrono::duration<double>(end - start).count();
+  uint64_t events = sim.events_dispatched() - events_before;
+  BenchResult r;
+  r.name = "tcp_recovery_churn";
+  r.ns_per_op = sec / static_cast<double>(events) * 1e9;
+  r.ops_per_sec = static_cast<double>(events) / sec;
+  r.allocs_per_op =
+      static_cast<double>(g_heap_allocs - allocs_before) / static_cast<double>(events);
+  return r;
+}
+
 // End to end: the paper-default experiment (96 Mbit/s bottleneck, 84 Mbit/s
 // web load, Bundler on) measured in simulator events per wall second.
 BenchResult BenchEndToEndExperiment() {
@@ -364,6 +416,7 @@ int Run(const std::string& json_path) {
       BenchScheduleCancel<LegacyFunctionQueue>("legacy_function_queue_schedule_cancel"));
   results.push_back(BenchScheduleCancel<EventQueue>("engine_schedule_cancel"));
   results.push_back(BenchPeriodicDispatch());
+  results.push_back(BenchTcpRecoveryChurn());
   results.push_back(BenchEndToEndExperiment());
 
   Table table({"benchmark", "ns/op", "ops/sec", "allocs/op"});

@@ -5,12 +5,18 @@
 #
 # Fails if the event engine's schedule+dispatch microbenchmark is not at
 # least BENCH_MIN_SPEEDUP (default 2.0) times the legacy std::function
-# queue's events/sec, or if the engine allocates on the hot path.
+# queue's events/sec, if the engine allocates on the hot path, or if the
+# datapath regresses on allocations: end_to_end_experiment must stay at or
+# below BENCH_MAX_E2E_ALLOCS (default 0.01) allocs per simulator event, and
+# the qdisc/tcp churn microbenchmarks must stay allocation-free (<= 0.001
+# allocs/op, i.e. zero modulo one-off ring growth).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-2.0}"
+MAX_E2E_ALLOCS="${BENCH_MAX_E2E_ALLOCS:-0.01}"
+MAX_CHURN_ALLOCS="${BENCH_MAX_CHURN_ALLOCS:-0.001}"
 OUT="${BENCH_OUT:-BENCH_datapath.json}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -27,4 +33,27 @@ awk -v s="${SPEEDUP}" -v min="${MIN_SPEEDUP}" 'BEGIN { exit !(s >= min) }' || {
   echo "bench.sh: FAIL — speedup ${SPEEDUP}x below gate ${MIN_SPEEDUP}x" >&2
   exit 1
 }
+
+# Allocation gates: a regression that reintroduces per-event heap churn on
+# the datapath (scoreboard, qdisc queues, engine) must fail loudly.
+alloc_of() {
+  grep -o "\"name\": \"$1\"[^}]*" "${OUT}" | grep -o '"allocs_per_op": [0-9.]*' |
+    grep -o '[0-9.]*$'
+}
+E2E_ALLOCS="$(alloc_of end_to_end_experiment)"
+echo "end_to_end_experiment allocs/event: ${E2E_ALLOCS} (gate: <= ${MAX_E2E_ALLOCS})"
+awk -v a="${E2E_ALLOCS}" -v max="${MAX_E2E_ALLOCS}" 'BEGIN { exit !(a <= max) }' || {
+  echo "bench.sh: FAIL — end_to_end_experiment ${E2E_ALLOCS} allocs/event above gate ${MAX_E2E_ALLOCS}" >&2
+  exit 1
+}
+for bench in qdisc_droptail_churn qdisc_sfq_churn qdisc_fq_codel_churn \
+             qdisc_strict_prio_churn tcp_recovery_churn; do
+  ALLOCS="$(alloc_of "${bench}")"
+  awk -v a="${ALLOCS}" -v max="${MAX_CHURN_ALLOCS}" 'BEGIN { exit !(a <= max) }' || {
+    echo "bench.sh: FAIL — ${bench} ${ALLOCS} allocs/op above gate ${MAX_CHURN_ALLOCS}" >&2
+    exit 1
+  }
+  echo "${bench} allocs/op: ${ALLOCS} (gate: <= ${MAX_CHURN_ALLOCS})"
+done
+
 echo "bench.sh: OK (wrote ${OUT})"

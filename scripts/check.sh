@@ -18,6 +18,11 @@ if [[ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DBUNDLER_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j"${JOBS}"
   (cd build-asan && ctest --output-on-failure -j"${JOBS}")
+  # The SACK scoreboard and its users manage raw ring storage; run their
+  # suites explicitly so an accidental ctest filter can never skip them
+  # under the sanitizers.
+  (cd build-asan && ctest --output-on-failure --no-tests=error -R \
+    'sack_scoreboard_test|tcp_recovery_test|transport_test')
 fi
 
 echo "--- topology construction smoke: --dump-topology for every scenario"

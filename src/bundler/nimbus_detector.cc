@@ -88,8 +88,8 @@ void NimbusDetector::Evaluate() {
     return;
   }
   size_t busy = 0;
-  for (bool b : busy_history_) {
-    busy += b ? 1 : 0;
+  for (size_t i = 0; i < busy_history_.size(); ++i) {
+    busy += busy_history_[i] ? 1 : 0;
   }
   if (static_cast<double>(busy) <
       config_.min_busy_frac * static_cast<double>(busy_history_.size())) {
@@ -97,7 +97,10 @@ void NimbusDetector::Evaluate() {
     metric_ = 0.0;
     return;
   }
-  std::vector<double> signal(z_history_.begin(), z_history_.end());
+  std::vector<double> signal(z_history_.size());
+  for (size_t i = 0; i < z_history_.size(); ++i) {
+    signal[i] = z_history_[i];
+  }
   double mean = 0.0;
   for (double v : signal) {
     mean += v;

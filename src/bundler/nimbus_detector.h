@@ -10,10 +10,10 @@
 #define SRC_BUNDLER_NIMBUS_DETECTOR_H_
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "src/util/rate.h"
+#include "src/util/ring_buffer.h"
 #include "src/util/time.h"
 #include "src/util/windowed_filter.h"
 
@@ -63,8 +63,10 @@ class NimbusDetector {
   WindowedMaxFilter<double> mu_filter_;  // bytes/sec
   Rate mu_;
   Rate last_cross_;
-  std::deque<double> z_history_;  // cross-rate samples, bits/sec
-  std::deque<bool> busy_history_;  // busy-gate state per sample
+  // Bounded histories (fft_size samples): reusable rings, so the per-tick
+  // sampling path never allocates once the window fills.
+  RingBuffer<double> z_history_;   // cross-rate samples, bits/sec
+  RingBuffer<bool> busy_history_;  // busy-gate state per sample
   size_t samples_since_eval_ = 0;
   bool elastic_ = false;
   double metric_ = 0.0;

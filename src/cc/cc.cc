@@ -1,5 +1,7 @@
 #include "src/cc/cc.h"
 
+#include <new>
+
 #include "src/cc/basic_delay.h"
 #include "src/cc/bbr.h"
 #include "src/cc/const_cwnd.h"
@@ -46,6 +48,31 @@ std::unique_ptr<HostCc> MakeHostCc(HostCcType type, double const_cwnd_pkts) {
       return std::make_unique<BbrHost>();
     case HostCcType::kConstCwnd:
       return std::make_unique<ConstCwnd>(const_cwnd_pkts);
+  }
+  BUNDLER_CHECK(false);
+  return nullptr;
+}
+
+static_assert(sizeof(Cubic) <= kHostCcStorageBytes);
+static_assert(sizeof(NewReno) <= kHostCcStorageBytes);
+static_assert(sizeof(BbrHost) <= kHostCcStorageBytes);
+static_assert(sizeof(ConstCwnd) <= kHostCcStorageBytes);
+static_assert(alignof(Cubic) <= alignof(std::max_align_t));
+static_assert(alignof(NewReno) <= alignof(std::max_align_t));
+static_assert(alignof(BbrHost) <= alignof(std::max_align_t));
+static_assert(alignof(ConstCwnd) <= alignof(std::max_align_t));
+
+HostCc* MakeHostCcInPlace(HostCcStorage* storage, HostCcType type, double const_cwnd_pkts) {
+  void* mem = storage->bytes;
+  switch (type) {
+    case HostCcType::kCubic:
+      return ::new (mem) Cubic();
+    case HostCcType::kNewReno:
+      return ::new (mem) NewReno();
+    case HostCcType::kBbr:
+      return ::new (mem) BbrHost();
+    case HostCcType::kConstCwnd:
+      return ::new (mem) ConstCwnd(const_cwnd_pkts);
   }
   BUNDLER_CHECK(false);
   return nullptr;

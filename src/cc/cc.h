@@ -10,6 +10,7 @@
 #ifndef SRC_CC_CC_H_
 #define SRC_CC_CC_H_
 
+#include <cstddef>
 #include <memory>
 
 #include "src/util/rate.h"
@@ -85,6 +86,20 @@ const char* BundleCcTypeName(BundleCcType type);
 
 std::unique_ptr<HostCc> MakeHostCc(HostCcType type, double const_cwnd_pkts = 450.0);
 std::unique_ptr<BundleCc> MakeBundleCc(BundleCcType type, Rate initial_rate);
+
+// Inline storage big enough for any concrete HostCc (static_asserted in
+// cc.cc). Lets a flow embed its controller by value — one fewer heap
+// allocation on the per-flow setup path, which an open-loop web workload
+// exercises thousands of times per simulated second.
+inline constexpr size_t kHostCcStorageBytes = 320;
+struct HostCcStorage {
+  alignas(alignof(std::max_align_t)) unsigned char bytes[kHostCcStorageBytes];
+};
+
+// Constructs the controller inside `storage` and returns it. The caller owns
+// the lifetime: call the virtual destructor explicitly (`cc->~HostCc()`).
+HostCc* MakeHostCcInPlace(HostCcStorage* storage, HostCcType type,
+                          double const_cwnd_pkts = 450.0);
 
 }  // namespace bundler
 

@@ -68,8 +68,7 @@ bool Codel::Enqueue(Packet pkt, TimePoint now) {
 
 std::optional<Packet> Codel::Dequeue(TimePoint now) {
   while (!queue_.empty()) {
-    Packet pkt = std::move(queue_.front());
-    queue_.pop_front();
+    Packet pkt = queue_.pop_front();
     bytes_ -= pkt.size_bytes;
     TimeDelta sojourn = now - pkt.queue_enter;
     if (state_.ShouldDrop(sojourn, now)) {

@@ -5,9 +5,8 @@
 #ifndef SRC_QDISC_CODEL_H_
 #define SRC_QDISC_CODEL_H_
 
-#include <deque>
-
 #include "src/qdisc/qdisc.h"
+#include "src/util/ring_buffer.h"
 
 namespace bundler {
 
@@ -20,6 +19,7 @@ struct CodelParams {
 // embed one per flow.
 class CodelState {
  public:
+  CodelState() = default;  // default params; FqCodel re-seeds per bucket
   explicit CodelState(const CodelParams& params) : params_(params) {}
 
   // Decide whether the packet dequeued at `now` with the given sojourn should
@@ -54,7 +54,7 @@ class Codel : public Qdisc {
   int64_t limit_bytes_;
   CodelParams params_;
   CodelState state_;
-  std::deque<Packet> queue_;
+  RingBuffer<Packet> queue_;  // reusable ring: no deque chunk churn on the datapath
   int64_t bytes_ = 0;
 };
 

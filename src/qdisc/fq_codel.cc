@@ -10,6 +10,9 @@ namespace bundler {
 FqCodel::FqCodel(const Config& config) : config_(config), buckets_(config.num_buckets) {
   BUNDLER_CHECK(config_.num_buckets > 0);
   BUNDLER_CHECK(config_.limit_packets > 0);
+  for (Bucket& b : buckets_) {
+    b.codel = CodelState(config_.codel);
+  }
 }
 
 size_t FqCodel::BucketFor(const Packet& pkt) const {
@@ -26,9 +29,6 @@ bool FqCodel::Enqueue(Packet pkt, TimePoint now) {
   (void)now;
   size_t idx = BucketFor(pkt);
   Bucket& b = buckets_[idx];
-  if (b.codel == nullptr) {
-    b.codel = std::make_unique<CodelState>(config_.codel);
-  }
   bytes_ += pkt.size_bytes;
   b.bytes += pkt.size_bytes;
   b.queue.push_back(std::move(pkt));
@@ -36,7 +36,7 @@ bool FqCodel::Enqueue(Packet pkt, TimePoint now) {
   if (b.list_state == Bucket::ListState::kNone) {
     b.list_state = Bucket::ListState::kNew;
     b.deficit = config_.quantum_bytes;
-    new_flows_.push_back(idx);
+    IndexRingPushBack(buckets_, new_flows_, idx);
   }
   if (packets_ > config_.limit_packets) {
     DropFromFattest();
@@ -48,8 +48,8 @@ bool FqCodel::Enqueue(Packet pkt, TimePoint now) {
 void FqCodel::DropFromFattest() {
   size_t fattest = 0;
   int64_t fattest_bytes = -1;
-  for (const auto& list : {new_flows_, old_flows_}) {
-    for (size_t idx : list) {
+  for (const IndexRing* list : {&new_flows_, &old_flows_}) {
+    for (size_t idx = list->head; idx != kIndexRingNil; idx = buckets_[idx].next) {
       if (buckets_[idx].bytes > fattest_bytes) {
         fattest_bytes = buckets_[idx].bytes;
         fattest = idx;
@@ -60,46 +60,44 @@ void FqCodel::DropFromFattest() {
   Bucket& b = buckets_[fattest];
   BUNDLER_CHECK(!b.queue.empty());
   // RFC 8290 drops from the head of the fattest flow to signal earlier.
-  const Packet& victim = b.queue.front();
+  Packet victim = b.queue.pop_front();
   b.bytes -= victim.size_bytes;
   bytes_ -= victim.size_bytes;
-  b.queue.pop_front();
   --packets_;
   CountDrop();
   // List membership is cleaned up lazily at dequeue time if empty.
 }
 
-std::optional<Packet> FqCodel::DequeueFromList(std::list<size_t>& list, bool is_new_list,
+std::optional<Packet> FqCodel::DequeueFromList(IndexRing& list, bool is_new_list,
                                                TimePoint now) {
   while (!list.empty()) {
-    size_t idx = list.front();
+    size_t idx = list.head;
     Bucket& b = buckets_[idx];
     if (b.deficit <= 0) {
       b.deficit += config_.quantum_bytes;
-      list.pop_front();
+      IndexRingRemove(buckets_, list, idx);
       b.list_state = Bucket::ListState::kOld;
-      old_flows_.push_back(idx);
+      IndexRingPushBack(buckets_, old_flows_, idx);
       continue;
     }
     if (b.queue.empty()) {
-      list.pop_front();
+      IndexRingRemove(buckets_, list, idx);
       if (is_new_list) {
         // An emptied new flow moves to the old list so it keeps its place for
         // one more round (RFC 8290 §4.2).
         b.list_state = Bucket::ListState::kOld;
-        old_flows_.push_back(idx);
+        IndexRingPushBack(buckets_, old_flows_, idx);
       } else {
         b.list_state = Bucket::ListState::kNone;
       }
       continue;
     }
-    Packet pkt = std::move(b.queue.front());
-    b.queue.pop_front();
+    Packet pkt = b.queue.pop_front();
     b.bytes -= pkt.size_bytes;
     bytes_ -= pkt.size_bytes;
     --packets_;
     TimeDelta sojourn = now - pkt.queue_enter;
-    if (b.codel->ShouldDrop(sojourn, now)) {
+    if (b.codel.ShouldDrop(sojourn, now)) {
       CountDrop();
       continue;
     }
@@ -109,9 +107,9 @@ std::optional<Packet> FqCodel::DequeueFromList(std::list<size_t>& list, bool is_
       // the head-of-list refill at the next dequeue, but keeps Peek accurate
       // and lets a newly arriving sparse flow preempt immediately).
       b.deficit += config_.quantum_bytes;
-      list.pop_front();
+      IndexRingRemove(buckets_, list, idx);
       b.list_state = Bucket::ListState::kOld;
-      old_flows_.push_back(idx);
+      IndexRingPushBack(buckets_, old_flows_, idx);
     }
     return pkt;
   }
@@ -127,8 +125,8 @@ std::optional<Packet> FqCodel::Dequeue(TimePoint now) {
 }
 
 const Packet* FqCodel::Peek() const {
-  for (const auto* list : {&new_flows_, &old_flows_}) {
-    for (size_t idx : *list) {
+  for (const IndexRing* list : {&new_flows_, &old_flows_}) {
+    for (size_t idx = list->head; idx != kIndexRingNil; idx = buckets_[idx].next) {
       if (!buckets_[idx].queue.empty()) {
         return &buckets_[idx].queue.front();
       }

@@ -5,12 +5,12 @@
 #define SRC_QDISC_FQ_CODEL_H_
 
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <vector>
 
 #include "src/qdisc/codel.h"
 #include "src/qdisc/qdisc.h"
+#include "src/util/index_ring.h"
+#include "src/util/ring_buffer.h"
 
 namespace bundler {
 
@@ -34,23 +34,27 @@ class FqCodel : public Qdisc {
   const char* name() const override { return "fq_codel"; }
 
  private:
+  // Buckets link into the new/old intrusive rings (src/util/index_ring.h):
+  // RFC 8290's two service lists without a list-node allocation per flow
+  // activation, and a reusable packet ring instead of a breathing deque.
   struct Bucket {
-    std::deque<Packet> queue;
-    std::unique_ptr<CodelState> codel;
+    RingBuffer<Packet> queue;
+    CodelState codel;
     int64_t bytes = 0;
     int64_t deficit = 0;
     enum class ListState { kNone, kNew, kOld } list_state = ListState::kNone;
+    size_t prev = kIndexRingNil;
+    size_t next = kIndexRingNil;
   };
 
   size_t BucketFor(const Packet& pkt) const;
   void DropFromFattest();
-  std::optional<Packet> DequeueFromList(std::list<size_t>& list, bool is_new_list,
-                                        TimePoint now);
+  std::optional<Packet> DequeueFromList(IndexRing& list, bool is_new_list, TimePoint now);
 
   Config config_;
   std::vector<Bucket> buckets_;
-  std::list<size_t> new_flows_;
-  std::list<size_t> old_flows_;
+  IndexRing new_flows_;
+  IndexRing old_flows_;
   int64_t bytes_ = 0;
   int64_t packets_ = 0;
 };

@@ -36,8 +36,7 @@ std::optional<Packet> StrictPrio::Dequeue(TimePoint now) {
   (void)now;
   for (Band& b : bands_) {
     if (!b.queue.empty()) {
-      Packet pkt = std::move(b.queue.front());
-      b.queue.pop_front();
+      Packet pkt = b.queue.pop_front();
       b.bytes -= pkt.size_bytes;
       bytes_ -= pkt.size_bytes;
       --packets_;

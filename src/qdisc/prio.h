@@ -3,11 +3,11 @@
 #ifndef SRC_QDISC_PRIO_H_
 #define SRC_QDISC_PRIO_H_
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "src/qdisc/qdisc.h"
+#include "src/util/ring_buffer.h"
 
 namespace bundler {
 
@@ -30,7 +30,7 @@ class StrictPrio : public Qdisc {
 
  private:
   struct Band {
-    std::deque<Packet> queue;
+    RingBuffer<Packet> queue;  // reusable ring: band churn allocates nothing
     int64_t bytes = 0;
   };
 

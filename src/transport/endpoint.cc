@@ -12,14 +12,14 @@ Host::Host(Simulator* sim, Address addr, PacketHandler* egress)
 }
 
 void Host::HandlePacket(Packet pkt) {
-  auto it = flows_.find(pkt.flow_id);
-  if (it == flows_.end()) {
+  PacketHandler* handler = flows_.Find(pkt.flow_id);
+  if (handler == nullptr) {
     // Flow already torn down (e.g. duplicate data after completion) or not
     // yet created; drop silently like a closed socket would.
     ++unclaimed_;
     return;
   }
-  it->second->HandlePacket(std::move(pkt));
+  handler->HandlePacket(std::move(pkt));
 }
 
 void Host::SendOut(Packet pkt) {
@@ -30,10 +30,10 @@ void Host::SendOut(Packet pkt) {
 
 void Host::Register(uint64_t flow_id, PacketHandler* handler) {
   BUNDLER_CHECK(handler != nullptr);
-  flows_[flow_id] = handler;
+  flows_.Insert(flow_id, handler);
 }
 
-void Host::Unregister(uint64_t flow_id) { flows_.erase(flow_id); }
+void Host::Unregister(uint64_t flow_id) { flows_.Erase(flow_id); }
 
 uint16_t Host::AllocPort() {
   uint16_t port = next_port_;

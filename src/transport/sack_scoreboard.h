@@ -1,0 +1,355 @@
+// Allocation-free SACK loss-recovery scoreboard. The sender's conceptual
+// model is unchanged from the std::set/std::map version it replaces: every
+// seq in [base, end) — i.e. [cum_acked_, next_seq_) — is in exactly one
+// state: untouched in flight, delivered (SACKed), presumed lost awaiting
+// retransmit, or retransmitted and in flight (carrying the value of
+// next_seq_ at retransmission time, for Linux-style lost-retransmit
+// detection). Instead of three node-allocating ordered containers, the state
+// lives in a flat ring of per-segment slots indexed by seq: marking is O(1),
+// the cumulative-ACK advance pops exactly the slots it covers (amortized
+// O(1) per segment ever sent, with a pointer-bump fast path while the
+// scoreboard is clean), ordered queries (highest SACKed seq, lowest pending
+// hole) come from cached bounds, and the outstanding-retransmission sweeps
+// walk a small unordered side-list of retransmitted seqs — O(#retx) like
+// the map they replace, not O(window). Ring and side-list both start on
+// inline storage sized for a typical web flow and spill to a doubling heap
+// block only when the window outgrows them, so steady-state loss recovery
+// performs zero heap allocations; `tcp_recovery_churn` in
+// bench/micro_datapath.cc measures exactly that, and
+// tests/sack_scoreboard_test.cc mirrors this structure against a reference
+// std::set/std::map model under randomized loss patterns.
+#ifndef SRC_TRANSPORT_SACK_SCOREBOARD_H_
+#define SRC_TRANSPORT_SACK_SCOREBOARD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+class SackScoreboard {
+ public:
+  enum class SegState : uint8_t {
+    kInFlight = 0,     // sent, no evidence either way
+    kSacked,           // delivered out of order (selectively acknowledged)
+    kLostPending,      // presumed lost, awaiting retransmission
+    kRetxOutstanding,  // retransmitted; the retransmission is in flight
+  };
+
+  SackScoreboard()
+      : slots_(inline_slots_), cap_(kInitialCapacity), retx_seqs_(inline_retx_),
+        retx_cap_(kInitialRetxCapacity) {}
+  SackScoreboard(const SackScoreboard&) = delete;
+  SackScoreboard& operator=(const SackScoreboard&) = delete;
+  ~SackScoreboard() {
+    if (slots_ != inline_slots_) {
+      delete[] slots_;
+    }
+    if (retx_seqs_ != inline_retx_) {
+      delete[] retx_seqs_;
+    }
+  }
+
+  int64_t base() const { return base_; }
+  int64_t end() const { return end_; }
+
+  int64_t sacked_count() const { return sacked_count_; }
+  int64_t lost_count() const { return lost_count_; }
+  int64_t retx_count() const { return static_cast<int64_t>(retx_count_); }
+  bool HasSacked() const { return sacked_count_ > 0; }
+
+  // Highest SACKed seq; only meaningful while HasSacked().
+  int64_t HighestSacked() const {
+    BUNDLER_CHECK(sacked_count_ > 0);
+    return highest_sacked_;
+  }
+
+  SegState StateOf(int64_t seq) const {
+    if (seq < base_ || seq >= end_) {
+      return SegState::kInFlight;
+    }
+    return SlotAt(seq).state;
+  }
+
+  bool IsSacked(int64_t seq) const { return StateOf(seq) == SegState::kSacked; }
+
+  // Marker recorded by MarkRetx; only meaningful for kRetxOutstanding slots.
+  int64_t RetxMarker(int64_t seq) const { return SlotAt(seq).retx_marker; }
+
+  // Grows the window: slots for [end, new_end) enter as kInFlight. Called as
+  // new segments are transmitted.
+  void ExtendTo(int64_t new_end) {
+    BUNDLER_CHECK(new_end >= end_);
+    int64_t need = new_end - base_;
+    if (need > static_cast<int64_t>(cap_)) {
+      Grow(static_cast<size_t>(need));
+    }
+    int64_t old_end = end_;
+    end_ = new_end;
+    for (int64_t s = old_end; s < new_end; ++s) {
+      SlotAt(s) = Slot{0, SegState::kInFlight};
+    }
+  }
+
+  // Cumulative-ACK advance: drops every slot below new_base, exactly the
+  // "erase everything below cum_acked_" loops of the set-based scoreboard.
+  void AdvanceTo(int64_t new_base) {
+    BUNDLER_CHECK(new_base >= base_);
+    if (new_base > end_) {
+      ExtendTo(new_base);
+    }
+    int64_t adv = new_base - base_;
+    // Loss-free fast path: all counters zero means every slot is kInFlight,
+    // so dropping them is pure pointer arithmetic. This is the common case —
+    // most ACKs arrive with a clean scoreboard.
+    if (sacked_count_ != 0 || lost_count_ != 0 || retx_count_ != 0) {
+      for (int64_t s = base_; s < new_base; ++s) {
+        SegState st = SlotAt(s).state;
+        if (st == SegState::kSacked) {
+          --sacked_count_;
+        } else if (st == SegState::kLostPending) {
+          --lost_count_;
+        } else if (st == SegState::kRetxOutstanding) {
+          RemoveRetxSeq(s);
+        }
+      }
+    }
+    base_ = new_base;
+    if (cap_ > 0) {
+      head_ = (head_ + static_cast<size_t>(adv)) & (cap_ - 1);
+    }
+    if (lost_scan_ < base_) {
+      lost_scan_ = base_;
+    }
+  }
+
+  void MarkSacked(int64_t seq) {
+    if (sacked_count_ == 0 || seq > highest_sacked_) {
+      highest_sacked_ = seq;
+    }
+    Slot& sl = SlotAt(seq);
+    if (sl.state == SegState::kLostPending) {
+      --lost_count_;
+    } else if (sl.state == SegState::kRetxOutstanding) {
+      RemoveRetxSeq(seq);
+    }
+    if (sl.state != SegState::kSacked) {
+      ++sacked_count_;
+    }
+    sl.state = SegState::kSacked;
+  }
+
+  // Callers only mark untouched in-flight segments lost (revealed holes);
+  // retransmitted holes return to lost via the Move* sweeps below.
+  void MarkLost(int64_t seq) {
+    Slot& sl = SlotAt(seq);
+    BUNDLER_CHECK(sl.state == SegState::kInFlight);
+    sl.state = SegState::kLostPending;
+    ++lost_count_;
+    NoteLostAt(seq);
+  }
+
+  // `marker` is next_seq_ at retransmission time. Tolerates seq == end()
+  // (the RTO path can nominally re-send the left window edge before any new
+  // data exists there) by extending the window first.
+  void MarkRetx(int64_t seq, int64_t marker) {
+    if (seq >= end_) {
+      ExtendTo(seq + 1);
+    }
+    Slot& sl = SlotAt(seq);
+    if (sl.state != SegState::kRetxOutstanding) {
+      if (sl.state == SegState::kLostPending) {
+        --lost_count_;
+      } else if (sl.state == SegState::kSacked) {
+        --sacked_count_;
+      }
+      sl.state = SegState::kRetxOutstanding;
+      AppendRetxSeq(seq);
+    }
+    sl.retx_marker = marker;
+  }
+
+  // Lowest kLostPending seq; requires lost_count() > 0. Amortized O(1): the
+  // scan cursor only moves forward, and marking a lower seq lost rewinds it.
+  int64_t FirstLost() {
+    BUNDLER_CHECK(lost_count_ > 0);
+    int64_t s = lost_scan_ < base_ ? base_ : lost_scan_;
+    while (SlotAt(s).state != SegState::kLostPending) {
+      ++s;
+    }
+    lost_scan_ = s;
+    return s;
+  }
+
+  // RTO: every outstanding retransmission is presumed lost too; return the
+  // holes to the pending pool ("for hole in retx: lost.insert(hole); clear").
+  void MoveAllRetxToLost() {
+    for (size_t i = 0; i < retx_count_; ++i) {
+      int64_t s = retx_seqs_[i];
+      SlotAt(s).state = SegState::kLostPending;
+      ++lost_count_;
+      NoteLostAt(s);
+    }
+    retx_count_ = 0;
+  }
+
+  // Lost-retransmission detection: a SACK for original seq `sack_seq` proves
+  // any hole retransmitted comfortably earlier (marker + 3 <= sack_seq) had
+  // its retransmission dropped; those holes return to the pending pool.
+  // O(#retx), exactly like the hole->marker map sweep it replaces.
+  void MoveStaleRetxToLost(int64_t sack_seq) {
+    size_t keep = 0;
+    for (size_t i = 0; i < retx_count_; ++i) {
+      int64_t s = retx_seqs_[i];
+      Slot& sl = SlotAt(s);
+      if (sl.retx_marker + 3 <= sack_seq) {
+        sl.state = SegState::kLostPending;
+        ++lost_count_;
+        NoteLostAt(s);
+      } else {
+        retx_seqs_[keep++] = s;
+      }
+    }
+    retx_count_ = keep;
+  }
+
+  // Fast-recovery entry: forget outstanding retransmissions (they predate
+  // this recovery episode); the segments revert to untouched in-flight.
+  void ClearRetx() {
+    for (size_t i = 0; i < retx_count_; ++i) {
+      SlotAt(retx_seqs_[i]).state = SegState::kInFlight;
+    }
+    retx_count_ = 0;
+  }
+
+  // Recovery exit: the loss episode is fully repaired; pending holes and
+  // outstanding retransmissions both revert to untouched in-flight.
+  void ClearLostAndRetx() {
+    ClearRetx();
+    if (lost_count_ > 0) {
+      int64_t lo = lost_scan_ < base_ ? base_ : lost_scan_;
+      int64_t hi = lost_hi_ >= end_ ? end_ - 1 : lost_hi_;
+      for (int64_t s = lo; s <= hi && lost_count_ > 0; ++s) {
+        Slot& sl = SlotAt(s);
+        if (sl.state == SegState::kLostPending) {
+          sl.state = SegState::kInFlight;
+          --lost_count_;
+        }
+      }
+    }
+    BUNDLER_CHECK(lost_count_ == 0);
+  }
+
+ private:
+  struct Slot {
+    int64_t retx_marker;
+    SegState state;
+  };
+
+  size_t Wrap(int64_t offset_from_head) const {
+    return (head_ + static_cast<size_t>(offset_from_head)) & (cap_ - 1);
+  }
+
+  Slot& SlotAt(int64_t seq) {
+    BUNDLER_CHECK(seq >= base_ && seq < end_);
+    return slots_[Wrap(seq - base_)];
+  }
+  const Slot& SlotAt(int64_t seq) const {
+    BUNDLER_CHECK(seq >= base_ && seq < end_);
+    return slots_[Wrap(seq - base_)];
+  }
+
+  // The scan hints are conservative bounds, never shrunk eagerly: a stale
+  // bound only widens a scan, it cannot skip a live slot.
+  void NoteLostAt(int64_t seq) {
+    if (seq < lost_scan_) {
+      lost_scan_ = seq;
+    }
+    if (seq > lost_hi_) {
+      lost_hi_ = seq;
+    }
+  }
+
+  // retx_seqs_[0..retx_count_) holds exactly the kRetxOutstanding seqs,
+  // unordered (every consumer's effect is order-independent, and the
+  // ordered map it replaces iterated for effect, not for order).
+  void AppendRetxSeq(int64_t seq) {
+    if (retx_count_ == retx_cap_) {
+      GrowRetx();
+    }
+    retx_seqs_[retx_count_++] = seq;
+  }
+
+  void RemoveRetxSeq(int64_t seq) {
+    for (size_t i = 0; i < retx_count_; ++i) {
+      if (retx_seqs_[i] == seq) {
+        retx_seqs_[i] = retx_seqs_[--retx_count_];
+        return;
+      }
+    }
+    BUNDLER_CHECK(false);  // seq was not outstanding
+  }
+
+  void Grow(size_t need) {
+    size_t new_cap = cap_;
+    while (new_cap < need) {
+      new_cap *= 2;
+    }
+    Slot* fresh = new Slot[new_cap];
+    int64_t count = end_ - base_;
+    for (int64_t i = 0; i < count; ++i) {
+      fresh[i] = slots_[Wrap(i)];
+    }
+    if (slots_ != inline_slots_) {
+      delete[] slots_;
+    }
+    slots_ = fresh;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void GrowRetx() {
+    size_t new_cap = retx_cap_ * 2;
+    int64_t* fresh = new int64_t[new_cap];
+    for (size_t i = 0; i < retx_count_; ++i) {
+      fresh[i] = retx_seqs_[i];
+    }
+    if (retx_seqs_ != inline_retx_) {
+      delete[] retx_seqs_;
+    }
+    retx_seqs_ = fresh;
+    retx_cap_ = new_cap;
+  }
+
+  // Both inline footprints are sized for a typical web flow (first 32
+  // segments in flight, first 16 concurrent retransmissions); the ring and
+  // side-list spill to doubling heap blocks only beyond that.
+  static constexpr size_t kInitialCapacity = 32;  // power of two (mask indexing)
+  static constexpr size_t kInitialRetxCapacity = 16;
+
+  Slot* slots_;
+  size_t cap_;
+  size_t head_ = 0;  // ring index of seq == base_
+
+  int64_t base_ = 0;  // == cum_acked_
+  int64_t end_ = 0;   // == next_seq_
+
+  int64_t sacked_count_ = 0;
+  int64_t lost_count_ = 0;
+
+  int64_t highest_sacked_ = 0;  // valid while sacked_count_ > 0
+  int64_t lost_scan_ = 0;       // no kLostPending below this seq
+  int64_t lost_hi_ = -1;        // no kLostPending above this seq
+
+  int64_t* retx_seqs_;
+  size_t retx_count_ = 0;
+  size_t retx_cap_;
+
+  Slot inline_slots_[kInitialCapacity];
+  int64_t inline_retx_[kInitialRetxCapacity];
+};
+
+}  // namespace bundler
+
+#endif  // SRC_TRANSPORT_SACK_SCOREBOARD_H_

@@ -23,14 +23,9 @@ void TcpReceiver::HandlePacket(Packet pkt) {
     bytes_received_ += pkt.size_bytes;
     ++cum_expected_;
     // Drain any contiguous out-of-order segments.
-    auto it = out_of_order_.begin();
-    while (it != out_of_order_.end() && *it == cum_expected_) {
-      ++cum_expected_;
-      it = out_of_order_.erase(it);
-    }
+    cum_expected_ = out_of_order_.DrainContiguousFrom(cum_expected_);
   } else if (pkt.seq > cum_expected_) {
-    auto inserted = out_of_order_.insert(pkt.seq);
-    if (inserted.second) {
+    if (out_of_order_.Insert(pkt.seq)) {
       bytes_received_ += pkt.size_bytes;
     }
   }
@@ -50,11 +45,8 @@ void TcpReceiver::HandlePacket(Packet pkt) {
 }
 
 TcpSender::TcpSender(Host* host, uint64_t flow_id, FlowKey key, const TcpFlowParams& params)
-    : host_(host),
-      flow_id_(flow_id),
-      key_(key),
-      params_(params),
-      cc_(MakeHostCc(params.cc, params.const_cwnd_pkts)) {
+    : host_(host), flow_id_(flow_id), key_(key), params_(params) {
+  cc_ = MakeHostCcInPlace(&cc_storage_, params.cc, params.const_cwnd_pkts);
   if (params_.size_bytes < 0) {
     total_pkts_ = 0;
     last_payload_bytes_ = kMssBytes;
@@ -67,6 +59,8 @@ TcpSender::TcpSender(Host* host, uint64_t flow_id, FlowKey key, const TcpFlowPar
   host_->Register(flow_id_, this);
 }
 
+TcpSender::~TcpSender() { cc_->~HostCc(); }
+
 void TcpSender::Start() {
   BUNDLER_CHECK(!started_);
   started_ = true;
@@ -77,8 +71,8 @@ double TcpSender::InflightPkts() const {
   // RFC 6675 "pipe": sent minus delivered (SACKed) minus presumed-lost holes
   // that have not been retransmitted. Retransmitted holes count once (their
   // retransmission is in flight), which the formula covers by construction.
-  int64_t pipe = (next_seq_ - cum_acked_) - static_cast<int64_t>(sacked_.size()) -
-                 static_cast<int64_t>(lost_pending_.size());
+  int64_t pipe = (next_seq_ - cum_acked_) - scoreboard_.sacked_count() -
+                 scoreboard_.lost_count();
   return static_cast<double>(std::max<int64_t>(0, pipe));
 }
 
@@ -135,6 +129,7 @@ void TcpSender::TrySend() {
     }
     SendSegment(next_seq_, /*retransmit=*/false);
     ++next_seq_;
+    scoreboard_.ExtendTo(next_seq_);
   }
 }
 
@@ -211,7 +206,7 @@ void TcpSender::OnPtoTimer() {
   }
   // Probe with the highest outstanding unSACKed segment.
   int64_t probe = next_seq_ - 1;
-  while (probe >= cum_acked_ && sacked_.contains(probe)) {
+  while (probe >= cum_acked_ && scoreboard_.IsSacked(probe)) {
     --probe;
   }
   if (probe < cum_acked_) {
@@ -246,14 +241,10 @@ void TcpSender::OnRtoTimer() {
   in_recovery_ = true;
   rto_recovery_ = true;
   recovery_point_ = next_seq_;
-  for (const auto& [hole, marker] : retx_outstanding_) {
-    lost_pending_.insert(hole);
-  }
-  retx_outstanding_.clear();
+  scoreboard_.MoveAllRetxToLost();
   dupacks_ = 0;
   if (total_pkts_ == 0 || cum_acked_ < total_pkts_) {
-    lost_pending_.erase(cum_acked_);
-    retx_outstanding_[cum_acked_] = next_seq_;
+    scoreboard_.MarkRetx(cum_acked_, next_seq_);
     SendSegment(cum_acked_, /*retransmit=*/true);
   }
   RestartRto();
@@ -263,7 +254,7 @@ void TcpSender::EnterRecovery(TimePoint now) {
   in_recovery_ = true;
   rto_recovery_ = false;
   recovery_point_ = next_seq_;
-  retx_outstanding_.clear();
+  scoreboard_.ClearRetx();
   prr_recoverfs_ = std::max(1.0, InflightPkts());
   prr_delivered_ = 0;
   prr_out_ = 0;
@@ -295,12 +286,11 @@ void TcpSender::RefreshPrrBudget() {
 void TcpSender::MaybeRetransmitHoles() {
   double pipe = InflightPkts();
   const double cwnd = cc_->CwndPkts();
-  while (pipe < cwnd && !lost_pending_.empty() && !PrrGated()) {
-    int64_t hole = *lost_pending_.begin();
-    lost_pending_.erase(lost_pending_.begin());
-    retx_outstanding_[hole] = next_seq_;
+  while (pipe < cwnd && scoreboard_.lost_count() > 0 && !PrrGated()) {
+    int64_t hole = scoreboard_.FirstLost();
+    scoreboard_.MarkRetx(hole, next_seq_);
     SendSegment(hole, /*retransmit=*/true);
-    pipe += 1.0;  // the hole left lost_pending_, so the pipe grew by one
+    pipe += 1.0;  // the hole left the lost-pending pool, so the pipe grew by one
   }
 }
 
@@ -315,20 +305,14 @@ void TcpSender::OnAck(const Packet& ack) {
   TimePoint now = host_->sim()->now();
   if (ack.seq > cum_acked_) {
     int64_t newly_acked = ack.seq - cum_acked_;
-    // Count bytes for everything newly covered by the cumulative point.
-    for (int64_t s = cum_acked_; s < ack.seq; ++s) {
-      delivered_bytes_ += PayloadSize(s);
+    // Count bytes for everything newly covered by the cumulative point: full
+    // MSS segments except the flow's final (possibly short) one.
+    delivered_bytes_ += newly_acked * kMssBytes;
+    if (total_pkts_ > 0 && ack.seq >= total_pkts_) {
+      delivered_bytes_ += last_payload_bytes_ - kMssBytes;
     }
     cum_acked_ = ack.seq;
-    while (!sacked_.empty() && *sacked_.begin() < cum_acked_) {
-      sacked_.erase(sacked_.begin());
-    }
-    while (!retx_outstanding_.empty() && retx_outstanding_.begin()->first < cum_acked_) {
-      retx_outstanding_.erase(retx_outstanding_.begin());
-    }
-    while (!lost_pending_.empty() && *lost_pending_.begin() < cum_acked_) {
-      lost_pending_.erase(lost_pending_.begin());
-    }
+    scoreboard_.AdvanceTo(cum_acked_);
     dupacks_ = 0;
     rto_backoff_ = 0;
     probe_outstanding_ = false;
@@ -357,8 +341,7 @@ void TcpSender::OnAck(const Packet& ack) {
       if (cum_acked_ >= recovery_point_) {
         in_recovery_ = false;
         rto_recovery_ = false;
-        retx_outstanding_.clear();
-        lost_pending_.clear();
+        scoreboard_.ClearLostAndRetx();
       }
     }
     sample.in_fast_recovery = in_recovery_ && !rto_recovery_;
@@ -391,31 +374,23 @@ void TcpSender::OnAck(const Packet& ack) {
     // holes it implies (every non-SACKed seq below the highest SACK is
     // presumed lost).
     int64_t s = ack.acked_data_seq;
-    if (s > cum_acked_ && !sacked_.contains(s)) {
-      int64_t reveal_from = sacked_.empty() ? cum_acked_ : *sacked_.rbegin() + 1;
+    if (s > cum_acked_ && !scoreboard_.IsSacked(s)) {
+      int64_t reveal_from =
+          scoreboard_.HasSacked() ? scoreboard_.HighestSacked() + 1 : cum_acked_;
       if (s >= reveal_from) {
         for (int64_t q = reveal_from; q < s; ++q) {
-          if (!retx_outstanding_.contains(q)) {
-            lost_pending_.insert(lost_pending_.end(), q);
+          if (scoreboard_.StateOf(q) != SackScoreboard::SegState::kRetxOutstanding) {
+            scoreboard_.MarkLost(q);
           }
         }
-        sacked_.insert(sacked_.end(), s);
+        scoreboard_.MarkSacked(s);
         // Lost-retransmission detection: this SACK is for an original
         // transmission; any hole retransmitted well before `s` was sent and
         // still unacked must have had its retransmission dropped.
-        for (auto it = retx_outstanding_.begin(); it != retx_outstanding_.end();) {
-          if (it->second + 3 <= s) {
-            lost_pending_.insert(it->first);
-            it = retx_outstanding_.erase(it);
-          } else {
-            ++it;
-          }
-        }
+        scoreboard_.MoveStaleRetxToLost(s);
       } else {
-        // The SACK fills a previously revealed hole.
-        sacked_.insert(s);
-        lost_pending_.erase(s);
-        retx_outstanding_.erase(s);
+        // The SACK fills a previously revealed hole (whatever its state).
+        scoreboard_.MarkSacked(s);
       }
       if (in_recovery_ && !rto_recovery_) {
         prr_delivered_ += 1;

@@ -7,13 +7,13 @@
 #define SRC_TRANSPORT_TCP_FLOW_H_
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 
 #include "src/cc/cc.h"
 #include "src/net/node.h"
 #include "src/transport/endpoint.h"
+#include "src/transport/sack_scoreboard.h"
+#include "src/util/interval_set.h"
 #include "src/util/time.h"
 
 namespace bundler {
@@ -45,7 +45,7 @@ class TcpReceiver : public PacketHandler {
   uint64_t flow_id_;
   std::function<void(TimePoint)> on_complete_;
   int64_t cum_expected_ = 0;
-  std::set<int64_t> out_of_order_;
+  SeqIntervalSet out_of_order_;  // contiguous runs above the cumulative point
   int64_t bytes_received_ = 0;
   bool complete_ = false;
 };
@@ -54,6 +54,7 @@ class TcpReceiver : public PacketHandler {
 class TcpSender : public PacketHandler {
  public:
   TcpSender(Host* host, uint64_t flow_id, FlowKey key, const TcpFlowParams& params);
+  ~TcpSender() override;
 
   // Begin transmitting (schedules the first send immediately).
   void Start();
@@ -110,25 +111,13 @@ class TcpSender : public PacketHandler {
   uint64_t flow_id_;
   FlowKey key_;
   TcpFlowParams params_;
-  std::unique_ptr<HostCc> cc_;
+  HostCc* cc_;
 
   int64_t total_pkts_;  // 0 when backlogged
   int64_t last_payload_bytes_;
 
   int64_t next_seq_ = 0;
   int64_t cum_acked_ = 0;
-  // SACK scoreboard. Every seq in [cum_acked_, next_seq_) is in exactly one
-  // conceptual state: delivered (sacked_), presumed lost awaiting retransmit
-  // (lost_pending_), retransmitted and in flight (retx_outstanding_), or
-  // untouched in flight. Seqs below the highest SACK that are not SACKed are
-  // presumed lost; the sets are maintained incrementally so pipe accounting
-  // and hole retransmission are O(log) per event, not O(window).
-  std::set<int64_t> sacked_;
-  std::set<int64_t> lost_pending_;
-  // hole -> next_seq_ at retransmission time. A SACK for an original seq sent
-  // comfortably after the retransmission proves the retransmission was lost
-  // (Linux lost-retransmit detection), returning the hole to lost_pending_.
-  std::map<int64_t, int64_t> retx_outstanding_;
   int dupacks_ = 0;
   bool in_recovery_ = false;
   bool rto_recovery_ = false;  // recovery entered via timeout (slow-start regrowth)
@@ -158,6 +147,21 @@ class TcpSender : public PacketHandler {
   bool complete_ = false;
   uint64_t retransmits_ = 0;
   uint64_t timeouts_ = 0;
+
+  // The two big inline blobs live at the end so the hot scalars above share
+  // a few contiguous cache lines; both are reached through pointers anyway
+  // (cc_, and the scoreboard's own slot cursor).
+  //
+  // SACK scoreboard. Every seq in [cum_acked_, next_seq_) is in exactly one
+  // state: delivered (SACKed), presumed lost awaiting retransmit,
+  // retransmitted and in flight (carrying next_seq_ at retransmission time
+  // for Linux lost-retransmit detection), or untouched in flight. Seqs below
+  // the highest SACK that are not SACKed are presumed lost. The scoreboard is
+  // a flat allocation-free ring of per-segment slots (see
+  // src/transport/sack_scoreboard.h), so pipe accounting and hole
+  // retransmission cost no node churn per event.
+  SackScoreboard scoreboard_;
+  HostCcStorage cc_storage_;  // controller lives inline: no per-flow heap churn
 };
 
 // Wires up a sender on `src` and receiver on `dst` and starts the flow.

@@ -1,0 +1,126 @@
+// Open-addressing hash map from uint64 keys to a pointer-like value, used
+// where a std::unordered_map's node-per-insert shows up on a hot or
+// high-churn path (the per-host flow demux table pays one node per flow the
+// scenario ever creates). Linear probing over a power-of-two cell array:
+// inserts amortize to O(log n) total allocations for n keys (doubling),
+// lookups touch adjacent cells, and erase uses backward-shift deletion so no
+// tombstones accumulate. Values are required to be trivially copyable and
+// have an "empty" sentinel (default-constructed V{}), which a non-null
+// pointer value type satisfies.
+#ifndef SRC_UTIL_FLAT_MAP_H_
+#define SRC_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/fnv.h"
+
+namespace bundler {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  // Returns V{} (e.g. nullptr) when absent.
+  V Find(uint64_t key) const {
+    if (size_ == 0) {
+      return V{};
+    }
+    size_t mask = cells_.size() - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    while (cells_[i].val != V{}) {
+      if (cells_[i].key == key) {
+        return cells_[i].val;
+      }
+      i = (i + 1) & mask;
+    }
+    return V{};
+  }
+
+  // Inserts or overwrites. `val` must not be the empty sentinel V{}.
+  void Insert(uint64_t key, V val) {
+    BUNDLER_CHECK(val != V{});
+    if (cells_.empty() || (size_ + 1) * 4 > cells_.size() * 3) {
+      Grow();
+    }
+    size_t mask = cells_.size() - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    while (cells_[i].val != V{}) {
+      if (cells_[i].key == key) {
+        cells_[i].val = val;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    cells_[i] = Cell{key, val};
+    ++size_;
+  }
+
+  void Erase(uint64_t key) {
+    if (size_ == 0) {
+      return;
+    }
+    size_t mask = cells_.size() - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    while (cells_[i].val != V{}) {
+      if (cells_[i].key == key) {
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    if (cells_[i].val == V{}) {
+      return;  // absent
+    }
+    // Backward-shift deletion: close the probe chain behind the hole.
+    size_t hole = i;
+    cells_[hole].val = V{};
+    --size_;
+    size_t j = (hole + 1) & mask;
+    while (cells_[j].val != V{}) {
+      size_t home = static_cast<size_t>(Mix64(cells_[j].key)) & mask;
+      // Move j into the hole if the hole lies within [home, j] cyclically.
+      bool between = hole <= j ? (home <= hole || home > j) : (home <= hole && home > j);
+      if (between) {
+        cells_[hole] = cells_[j];
+        cells_[j].val = V{};
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Cell {
+    uint64_t key;
+    V val;  // V{} marks an empty cell
+  };
+
+  void Grow() {
+    size_t new_cap = cells_.empty() ? 16 : cells_.size() * 2;
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(new_cap, Cell{0, V{}});
+    size_ = 0;
+    for (const Cell& c : old) {
+      if (c.val != V{}) {
+        size_t mask = cells_.size() - 1;
+        size_t i = static_cast<size_t>(Mix64(c.key)) & mask;
+        while (cells_[i].val != V{}) {
+          i = (i + 1) & mask;
+        }
+        cells_[i] = c;
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<Cell> cells_;
+  size_t size_ = 0;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_FLAT_MAP_H_

@@ -1,0 +1,95 @@
+// Reusable set of int64 sequence numbers stored as sorted, disjoint,
+// non-adjacent [lo, hi) intervals in a flat vector. A TCP receiver's
+// out-of-order buffer is runs of contiguous segments, so a std::set of
+// individual seqs costs one node allocation per packet for what is almost
+// always one or two intervals; this representation inserts with a binary
+// search plus an O(#intervals) shift, reuses its storage forever, and makes
+// "drain everything contiguous with the cumulative point" a single pop.
+#ifndef SRC_UTIL_INTERVAL_SET_H_
+#define SRC_UTIL_INTERVAL_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bundler {
+
+class SeqIntervalSet {
+ public:
+  struct Interval {
+    int64_t lo;
+    int64_t hi;  // exclusive
+  };
+
+  bool empty() const { return intervals_.empty(); }
+  size_t interval_count() const { return intervals_.size(); }
+  const Interval& interval(size_t i) const { return intervals_[i]; }
+
+  // Total number of seqs contained.
+  int64_t size() const {
+    int64_t n = 0;
+    for (const Interval& iv : intervals_) {
+      n += iv.hi - iv.lo;
+    }
+    return n;
+  }
+
+  void clear() { intervals_.clear(); }
+
+  bool Contains(int64_t seq) const {
+    size_t i = FirstEndingAfter(seq);
+    return i < intervals_.size() && intervals_[i].lo <= seq;
+  }
+
+  // Inserts one seq; returns true iff it was not already present. Merges
+  // with adjacent intervals so contiguous runs stay a single interval.
+  bool Insert(int64_t seq) {
+    size_t i = FirstEndingAfter(seq);
+    if (i < intervals_.size() && intervals_[i].lo <= seq) {
+      return false;  // already present
+    }
+    bool joins_prev = i > 0 && intervals_[i - 1].hi == seq;
+    bool joins_next = i < intervals_.size() && intervals_[i].lo == seq + 1;
+    if (joins_prev && joins_next) {
+      intervals_[i - 1].hi = intervals_[i].hi;
+      intervals_.erase(intervals_.begin() + static_cast<ptrdiff_t>(i));
+    } else if (joins_prev) {
+      intervals_[i - 1].hi = seq + 1;
+    } else if (joins_next) {
+      intervals_[i].lo = seq;
+    } else {
+      intervals_.insert(intervals_.begin() + static_cast<ptrdiff_t>(i),
+                        Interval{seq, seq + 1});
+    }
+    return true;
+  }
+
+  // If the lowest interval starts exactly at `from`, consumes it and returns
+  // its exclusive upper end; otherwise returns `from` unchanged. Equivalent
+  // to repeatedly erasing `from`, `from+1`, ... while present.
+  int64_t DrainContiguousFrom(int64_t from) {
+    if (!intervals_.empty() && intervals_.front().lo == from) {
+      int64_t hi = intervals_.front().hi;
+      intervals_.erase(intervals_.begin());
+      return hi;
+    }
+    return from;
+  }
+
+ private:
+  // Index of the first interval with hi > seq (i.e. the interval that either
+  // contains seq or is entirely above it); intervals_.size() if none.
+  size_t FirstEndingAfter(int64_t seq) const {
+    return static_cast<size_t>(
+        std::lower_bound(intervals_.begin(), intervals_.end(), seq,
+                         [](const Interval& iv, int64_t s) { return iv.hi <= s; }) -
+        intervals_.begin());
+  }
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_INTERVAL_SET_H_

@@ -43,8 +43,16 @@ class RingBuffer {
     }
     return *this;
   }
-  RingBuffer(const RingBuffer&) = delete;
-  RingBuffer& operator=(const RingBuffer&) = delete;
+  // Copies are only instantiated for copyable T (Packet rings stay move-only,
+  // so the datapath cannot copy a queue by accident).
+  RingBuffer(const RingBuffer& other) { CopyFrom(other); }
+  RingBuffer& operator=(const RingBuffer& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
   ~RingBuffer() { Destroy(); }
 
   bool empty() const { return size_ == 0; }
@@ -94,6 +102,16 @@ class RingBuffer {
     return slots_[Index(size_ - 1)];
   }
 
+  // Indexed access from the front: [0] == front(), [size()-1] == back().
+  T& operator[](size_t i) {
+    BUNDLER_CHECK(i < size_);
+    return slots_[Index(i)];
+  }
+  const T& operator[](size_t i) const {
+    BUNDLER_CHECK(i < size_);
+    return slots_[Index(i)];
+  }
+
   void clear() {
     while (size_ > 0) {
       slots_[head_].~T();
@@ -127,6 +145,19 @@ class RingBuffer {
     Release();
     slots_ = nullptr;
     cap_ = 0;
+  }
+
+  void CopyFrom(const RingBuffer& other) {
+    if (other.cap_ > 0) {
+      slots_ = static_cast<T*>(
+          ::operator new(other.cap_ * sizeof(T), std::align_val_t(alignof(T))));
+    }
+    cap_ = other.cap_;
+    head_ = 0;
+    for (size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(slots_ + i)) T(other.slots_[other.Index(i)]);
+      ++size_;
+    }
   }
 
   void Release() {

@@ -1,11 +1,12 @@
 // Time-windowed min/max filter over a stream of (time, value) samples, kept
-// as a monotonic deque. Used for min-RTT tracking at the sendbox and for
-// BBR's bottleneck-bandwidth max filter.
+// as a monotonic queue on a reusable ring (the filter sits on hot sampling
+// paths — per-ACK in BBR, per-feedback at the sendbox — where a std::deque's
+// chunk churn costs an allocation every few dozen samples). Used for min-RTT
+// tracking at the sendbox and for BBR's bottleneck-bandwidth max filter.
 #ifndef SRC_UTIL_WINDOWED_FILTER_H_
 #define SRC_UTIL_WINDOWED_FILTER_H_
 
-#include <deque>
-
+#include "src/util/ring_buffer.h"
 #include "src/util/time.h"
 
 namespace bundler {
@@ -48,7 +49,7 @@ class WindowedExtremumFilter {
     V value;
   };
   TimeDelta window_;
-  std::deque<Entry> entries_;
+  RingBuffer<Entry> entries_;
 };
 
 template <typename V>

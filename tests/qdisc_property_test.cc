@@ -1,10 +1,16 @@
 // Property tests over every queue discipline: conservation (every enqueued
 // packet is either delivered or counted as a drop), non-negative accounting,
 // empty/limit behavior, and work conservation. Parameterized so each qdisc
-// implementation faces the same invariants.
+// implementation faces the same invariants. The ring-backed fq_codel and
+// strict-prio rewrites are additionally mirrored step-for-step against
+// reference implementations that keep the pre-rewrite std::deque/std::list
+// storage, pinning byte-identical service order (same DRR rotation, same
+// CoDel drop decisions, same overflow victims).
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <string>
 
@@ -14,6 +20,7 @@
 #include "src/qdisc/fq_codel.h"
 #include "src/qdisc/prio.h"
 #include "src/qdisc/sfq.h"
+#include "src/util/fnv.h"
 #include "src/util/random.h"
 
 namespace bundler {
@@ -175,6 +182,259 @@ INSTANTIATE_TEST_SUITE_P(AllQdiscs, QdiscPropertyTest,
                          [](const ::testing::TestParamInfo<QdiscCase>& info) {
                            return info.param.name;
                          });
+
+// ---------------------------------------------------------------------------
+// Service-order byte-identity: reference implementations with the
+// pre-rewrite std::deque/std::list storage, mirrored against the ring-backed
+// qdiscs step for step.
+
+// FqCodel exactly as it stood before the ring sweep (deque buckets, list
+// service order, lazily allocated per-bucket CodelState).
+class RefFqCodel {
+ public:
+  explicit RefFqCodel(const FqCodel::Config& config)
+      : config_(config), buckets_(config.num_buckets) {}
+
+  bool Enqueue(Packet pkt, TimePoint now) {
+    (void)now;
+    size_t idx = BucketFor(pkt);
+    Bucket& b = buckets_[idx];
+    if (b.codel == nullptr) {
+      b.codel = std::make_unique<CodelState>(config_.codel);
+    }
+    bytes_ += pkt.size_bytes;
+    b.bytes += pkt.size_bytes;
+    b.queue.push_back(std::move(pkt));
+    ++packets_;
+    if (b.list_state == Bucket::ListState::kNone) {
+      b.list_state = Bucket::ListState::kNew;
+      b.deficit = config_.quantum_bytes;
+      new_flows_.push_back(idx);
+    }
+    if (packets_ > config_.limit_packets) {
+      DropFromFattest();
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<Packet> Dequeue(TimePoint now) {
+    std::optional<Packet> pkt = DequeueFromList(new_flows_, true, now);
+    if (pkt.has_value()) {
+      return pkt;
+    }
+    return DequeueFromList(old_flows_, false, now);
+  }
+
+  uint64_t drops() const { return drops_; }
+  int64_t bytes() const { return bytes_; }
+  int64_t packets() const { return packets_; }
+
+ private:
+  struct Bucket {
+    std::deque<Packet> queue;
+    std::unique_ptr<CodelState> codel;
+    int64_t bytes = 0;
+    int64_t deficit = 0;
+    enum class ListState { kNone, kNew, kOld } list_state = ListState::kNone;
+  };
+
+  // Same hash as the real implementation (FqCodel::BucketFor).
+  size_t BucketFor(const Packet& pkt) const {
+    const uint64_t fields[] = {config_.perturbation,
+                               pkt.key.src,
+                               pkt.key.dst,
+                               static_cast<uint64_t>(pkt.key.src_port),
+                               static_cast<uint64_t>(pkt.key.dst_port),
+                               static_cast<uint64_t>(pkt.key.protocol)};
+    return Mix64(Fnv1a64Combine(fields, 6)) % config_.num_buckets;
+  }
+
+  void DropFromFattest() {
+    size_t fattest = 0;
+    int64_t fattest_bytes = -1;
+    for (const auto& list : {new_flows_, old_flows_}) {
+      for (size_t idx : list) {
+        if (buckets_[idx].bytes > fattest_bytes) {
+          fattest_bytes = buckets_[idx].bytes;
+          fattest = idx;
+        }
+      }
+    }
+    Bucket& b = buckets_[fattest];
+    const Packet& victim = b.queue.front();
+    b.bytes -= victim.size_bytes;
+    bytes_ -= victim.size_bytes;
+    b.queue.pop_front();
+    --packets_;
+    ++drops_;
+  }
+
+  std::optional<Packet> DequeueFromList(std::list<size_t>& list, bool is_new_list,
+                                        TimePoint now) {
+    while (!list.empty()) {
+      size_t idx = list.front();
+      Bucket& b = buckets_[idx];
+      if (b.deficit <= 0) {
+        b.deficit += config_.quantum_bytes;
+        list.pop_front();
+        b.list_state = Bucket::ListState::kOld;
+        old_flows_.push_back(idx);
+        continue;
+      }
+      if (b.queue.empty()) {
+        list.pop_front();
+        if (is_new_list) {
+          b.list_state = Bucket::ListState::kOld;
+          old_flows_.push_back(idx);
+        } else {
+          b.list_state = Bucket::ListState::kNone;
+        }
+        continue;
+      }
+      Packet pkt = std::move(b.queue.front());
+      b.queue.pop_front();
+      b.bytes -= pkt.size_bytes;
+      bytes_ -= pkt.size_bytes;
+      --packets_;
+      TimeDelta sojourn = now - pkt.queue_enter;
+      if (b.codel->ShouldDrop(sojourn, now)) {
+        ++drops_;
+        continue;
+      }
+      b.deficit -= pkt.size_bytes;
+      if (b.deficit <= 0) {
+        b.deficit += config_.quantum_bytes;
+        list.pop_front();
+        b.list_state = Bucket::ListState::kOld;
+        old_flows_.push_back(idx);
+      }
+      return pkt;
+    }
+    return std::nullopt;
+  }
+
+  FqCodel::Config config_;
+  std::vector<Bucket> buckets_;
+  std::list<size_t> new_flows_;
+  std::list<size_t> old_flows_;
+  int64_t bytes_ = 0;
+  int64_t packets_ = 0;
+  uint64_t drops_ = 0;
+};
+
+// StrictPrio as it stood before the ring sweep: per-band std::deque.
+class RefStrictPrio {
+ public:
+  RefStrictPrio(size_t num_bands, int64_t limit_bytes_per_band)
+      : bands_(num_bands), limit_bytes_per_band_(limit_bytes_per_band) {}
+
+  bool Enqueue(Packet pkt, TimePoint now) {
+    (void)now;
+    size_t band = pkt.priority;
+    if (band >= bands_.size()) {
+      band = bands_.size() - 1;
+    }
+    Band& b = bands_[band];
+    if (b.bytes + pkt.size_bytes > limit_bytes_per_band_) {
+      ++drops_;
+      return false;
+    }
+    b.bytes += pkt.size_bytes;
+    b.queue.push_back(std::move(pkt));
+    return true;
+  }
+
+  std::optional<Packet> Dequeue(TimePoint now) {
+    (void)now;
+    for (Band& b : bands_) {
+      if (!b.queue.empty()) {
+        Packet pkt = std::move(b.queue.front());
+        b.queue.pop_front();
+        b.bytes -= pkt.size_bytes;
+        return pkt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  uint64_t drops() const { return drops_; }
+
+ private:
+  struct Band {
+    std::deque<Packet> queue;
+    int64_t bytes = 0;
+  };
+  std::vector<Band> bands_;
+  int64_t limit_bytes_per_band_;
+  uint64_t drops_ = 0;
+};
+
+TEST(QdiscByteIdentityTest, FqCodelMatchesDequeListReference) {
+  // Randomized churn with standing queues, so every code path engages:
+  // new/old list rotation, deficit refills, CoDel sojourn drops, and
+  // overflow drops from the fattest flow. Every dequeue must produce the
+  // same packet id and every drop counter must match, step for step.
+  FqCodel::Config cfg;
+  cfg.limit_packets = 192;
+  for (uint64_t seed = 3; seed <= 5; ++seed) {
+    FqCodel q(cfg);
+    RefFqCodel ref(cfg);
+    Rng rng(seed);
+    TimePoint now;
+    for (int step = 0; step < 30000; ++step) {
+      now += TimeDelta::Micros(200);
+      if (rng.NextDouble() < 0.55) {
+        Packet p = RandomPacket(rng, static_cast<uint64_t>(step));
+        p.queue_enter = now;
+        Packet clone = p.Clone();
+        bool accepted = q.Enqueue(std::move(p), now);
+        bool ref_accepted = ref.Enqueue(std::move(clone), now);
+        ASSERT_EQ(accepted, ref_accepted) << "seed " << seed << " step " << step;
+      } else {
+        std::optional<Packet> out = q.Dequeue(now);
+        std::optional<Packet> ref_out = ref.Dequeue(now);
+        ASSERT_EQ(out.has_value(), ref_out.has_value())
+            << "seed " << seed << " step " << step;
+        if (out.has_value()) {
+          ASSERT_EQ(out->id, ref_out->id) << "seed " << seed << " step " << step;
+        }
+      }
+      ASSERT_EQ(q.drops(), ref.drops()) << "seed " << seed << " step " << step;
+      ASSERT_EQ(q.bytes(), ref.bytes()) << "seed " << seed << " step " << step;
+      ASSERT_EQ(q.packets(), ref.packets()) << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(QdiscByteIdentityTest, StrictPrioMatchesDequeReference) {
+  for (uint64_t seed = 11; seed <= 13; ++seed) {
+    StrictPrio q(3, int64_t{48} * kMtuBytes);
+    RefStrictPrio ref(3, int64_t{48} * kMtuBytes);
+    Rng rng(seed);
+    TimePoint now;
+    for (int step = 0; step < 30000; ++step) {
+      now += TimeDelta::Micros(100);
+      if (rng.NextDouble() < 0.55) {
+        Packet p = RandomPacket(rng, static_cast<uint64_t>(step));
+        p.queue_enter = now;
+        Packet clone = p.Clone();
+        bool accepted = q.Enqueue(std::move(p), now);
+        bool ref_accepted = ref.Enqueue(std::move(clone), now);
+        ASSERT_EQ(accepted, ref_accepted) << "seed " << seed << " step " << step;
+      } else {
+        std::optional<Packet> out = q.Dequeue(now);
+        std::optional<Packet> ref_out = ref.Dequeue(now);
+        ASSERT_EQ(out.has_value(), ref_out.has_value())
+            << "seed " << seed << " step " << step;
+        if (out.has_value()) {
+          ASSERT_EQ(out->id, ref_out->id) << "seed " << seed << " step " << step;
+        }
+      }
+      ASSERT_EQ(q.drops(), ref.drops()) << "seed " << seed << " step " << step;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace bundler

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <memory>
 #include <numbers>
+#include <set>
 #include <utility>
 
 #include "src/util/fft.h"
 #include "src/util/fnv.h"
+#include "src/util/interval_set.h"
 #include "src/util/random.h"
 #include "src/util/rate.h"
 #include "src/util/ring_buffer.h"
@@ -304,6 +306,87 @@ TEST(RingBufferTest, SteadyStateDoesNotReallocate) {
   }
   EXPECT_EQ(ring.capacity(), cap);
   EXPECT_EQ(ring.size(), 48u);
+}
+
+TEST(RingBufferTest, IndexedAccessFollowsFront) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 20; ++i) {
+    ring.push_back(i);
+  }
+  for (int i = 0; i < 7; ++i) {
+    (void)ring.pop_front();
+  }
+  ASSERT_EQ(ring.size(), 13u);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i) + 7);
+  }
+  EXPECT_EQ(ring[0], ring.front());
+  EXPECT_EQ(ring[ring.size() - 1], ring.back());
+}
+
+TEST(RingBufferTest, CopyPreservesOrderAndIndependence) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 30; ++i) {
+    ring.push_back(i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    (void)ring.pop_front();  // force a wrapped layout
+    ring.push_back(100 + i);
+  }
+  RingBuffer<int> copy = ring;
+  ASSERT_EQ(copy.size(), ring.size());
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(copy[i], ring[i]);
+  }
+  copy.push_back(-1);
+  EXPECT_EQ(copy.size(), ring.size() + 1);
+}
+
+TEST(SeqIntervalSetTest, MatchesSetModelUnderRandomInsertAndDrain) {
+  // The receiver's out-of-order buffer: mirror the interval representation
+  // against a plain std::set under random insert / contains / drain churn.
+  Rng rng(5);
+  SeqIntervalSet iv;
+  std::set<int64_t> ref;
+  int64_t cum = 0;
+  for (int step = 0; step < 50000; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.70) {
+      int64_t seq = cum + 1 + static_cast<int64_t>(rng.NextU64() % 64);
+      EXPECT_EQ(iv.Insert(seq), ref.insert(seq).second) << "step " << step;
+    } else if (roll < 0.9) {
+      int64_t probe = cum + static_cast<int64_t>(rng.NextU64() % 70);
+      EXPECT_EQ(iv.Contains(probe), ref.contains(probe)) << "step " << step;
+    } else {
+      // Drain as TcpReceiver does when the next expected segment arrives.
+      ++cum;
+      int64_t got = iv.DrainContiguousFrom(cum);
+      auto it = ref.begin();
+      while (it != ref.end() && *it == cum) {
+        ++cum;
+        it = ref.erase(it);
+      }
+      EXPECT_EQ(got, cum) << "step " << step;
+      // Anything at or below the cumulative point is gone on both sides.
+      EXPECT_FALSE(iv.Contains(cum)) << "step " << step;
+    }
+    EXPECT_EQ(iv.size(), static_cast<int64_t>(ref.size())) << "step " << step;
+  }
+}
+
+TEST(SeqIntervalSetTest, AdjacentInsertsCoalesce) {
+  SeqIntervalSet iv;
+  EXPECT_TRUE(iv.Insert(10));
+  EXPECT_TRUE(iv.Insert(12));
+  EXPECT_EQ(iv.interval_count(), 2u);
+  EXPECT_TRUE(iv.Insert(11));  // bridges [10,11) and [12,13)
+  EXPECT_EQ(iv.interval_count(), 1u);
+  EXPECT_EQ(iv.interval(0).lo, 10);
+  EXPECT_EQ(iv.interval(0).hi, 13);
+  EXPECT_FALSE(iv.Insert(11));  // duplicate
+  EXPECT_EQ(iv.DrainContiguousFrom(9), 9);    // not contiguous: untouched
+  EXPECT_EQ(iv.DrainContiguousFrom(10), 13);  // consumes the run
+  EXPECT_TRUE(iv.empty());
 }
 
 }  // namespace
