@@ -47,7 +47,7 @@ awk -v a="${E2E_ALLOCS}" -v max="${MAX_E2E_ALLOCS}" 'BEGIN { exit !(a <= max) }'
   exit 1
 }
 for bench in qdisc_droptail_churn qdisc_sfq_churn qdisc_fq_codel_churn \
-             qdisc_strict_prio_churn tcp_recovery_churn; do
+             qdisc_strict_prio_churn tcp_recovery_churn link_event_rearm_churn; do
   ALLOCS="$(alloc_of "${bench}")"
   awk -v a="${ALLOCS}" -v max="${MAX_CHURN_ALLOCS}" 'BEGIN { exit !(a <= max) }' || {
     echo "bench.sh: FAIL — ${bench} ${ALLOCS} allocs/op above gate ${MAX_CHURN_ALLOCS}" >&2

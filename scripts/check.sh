@@ -31,6 +31,13 @@ for scenario in $(./build/bundler_run --list-names); do
   echo "  ${scenario}: topology OK"
 done
 
+echo "--- smoke scenario: link_flap (1 trial — exercises zero-rate park/unpark)"
+./build/bundler_run --scenario link_flap --trials 1 --threads 2 \
+  --out build/smoke_flap_t2 --quiet
+./build/bundler_run --scenario link_flap --trials 1 --threads 4 \
+  --out build/smoke_flap_t4 --quiet > /dev/null
+cmp build/smoke_flap_t2/link_flap.json build/smoke_flap_t4/link_flap.json
+
 echo "--- smoke scenario: fig09_fct (2 trials, 2 threads)"
 ./build/bundler_run --scenario fig09_fct --trials 2 --threads 2 \
   --out build/smoke_t2 --quiet

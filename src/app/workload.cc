@@ -132,10 +132,11 @@ std::vector<TcpSender*> StartBulkFlows(Simulator* sim, FlowTable* flows, Host* s
     if (start <= sim->now()) {
       out.push_back(StartTcpFlow(flows, server, client, params, nullptr));
     } else {
-      // Defer creation so the flow's Start() happens at `start`.
-      sim->ScheduleAt(start, [flows, server, client, params]() {
-        StartTcpFlow(flows, server, client, params, nullptr);
-      });
+      // Create the pair now (so the handle can be returned) but defer the
+      // first transmission to `start`. Construction sends nothing.
+      TcpSender* sender = CreateTcpFlow(flows, server, client, params, nullptr);
+      sim->ScheduleAt(start, [sender]() { sender->Start(); });
+      out.push_back(sender);
     }
   }
   return out;

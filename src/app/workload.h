@@ -94,10 +94,11 @@ class RequestResponse : public PacketHandler {
 };
 
 // `count` backlogged flows from server to client, started at `start`.
-// Returns the senders (for throughput accounting) — but only for flows
-// started immediately: a `start` in the future defers creation, and those
-// senders are NOT in the returned vector (schedule StartTcpFlow yourself if
-// you need the handle).
+// Always returns all `count` sender handles (for throughput accounting):
+// sender/receiver pairs are created — ids and ports allocated — immediately,
+// and a `start` in the future only defers the first transmission. (The old
+// contract created deferred flows lazily and returned an empty vector for
+// them, a footgun every caller tripped on at least once.)
 std::vector<TcpSender*> StartBulkFlows(Simulator* sim, FlowTable* flows, Host* server,
                                        Host* client, int count, HostCcType cc,
                                        TimePoint start);

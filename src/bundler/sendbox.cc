@@ -126,9 +126,13 @@ void Sendbox::SwitchMode(BundlerMode next) {
   mode_log_.emplace_back(now, next);
   switch (next) {
     case BundlerMode::kDelayControl:
-      // Coming back from pass-through/disabled: restart the controller from
-      // the currently observed rate rather than from scratch.
-      cc_->Reset(now);
+      // Coming back from pass-through/disabled. Cold restart relearns the
+      // path from `initial_rate`; with warm_restart the controller instead
+      // seeds from the measured egress rate, so the bundle keeps roughly its
+      // pre-switch share while the controller converges.
+      cc_->Reset(now, config_.warm_restart && egress_rate_bps_ > 0
+                          ? Rate::BitsPerSec(egress_rate_bps_)
+                          : Rate::Zero());
       break;
     case BundlerMode::kPassThrough: {
       Rate start = std::max(detector_.mu_estimate(), shaper_.rate());

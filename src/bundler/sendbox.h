@@ -54,6 +54,14 @@ class Sendbox : public PacketHandler {
     BundleCcType cc = BundleCcType::kCopa;
     bool nimbus_detection = true;
     bool multipath_detection = true;
+    // When re-entering delay control (pass-through exit, disabled-mode
+    // probe), seed the rate controller from the measured egress rate instead
+    // of restarting it cold from `initial_rate`. Off by default: the cold
+    // restart is the historical behavior and every pinned trace depends on
+    // it, but it collapses the bundle to `initial_rate` for several seconds
+    // per switch — the root cause of the fig10 phase-3 reproduction gap (see
+    // README "Dynamic link events" and the fig10_warm_restart scenario).
+    bool warm_restart = false;
 
     Rate initial_rate = Rate::Mbps(12);
     Rate max_rate = Rate::Gbps(1);  // pass-through cap / disabled-mode rate

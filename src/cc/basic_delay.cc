@@ -14,10 +14,11 @@ BasicDelay::BasicDelay(Rate initial_rate, const Params& params)
       cross_(Rate::Zero()),
       mu_filter_(params.mu_window) {}
 
-void BasicDelay::Reset(TimePoint now) {
+void BasicDelay::Reset(TimePoint now, Rate seed_rate) {
   (void)now;
-  rate_ = initial_rate_;
-  mu_ = initial_rate_;
+  Rate start = seed_rate.IsZero() ? initial_rate_ : seed_rate;
+  rate_ = start;
+  mu_ = start;
   cross_ = Rate::Zero();
   mu_filter_.Reset();
 }

@@ -24,7 +24,7 @@ class BasicDelay : public BundleCc {
 
   void OnMeasurement(const BundleMeasurement& m) override;
   Rate TargetRate() const override { return rate_; }
-  void Reset(TimePoint now) override;
+  void Reset(TimePoint now, Rate seed_rate) override;
   const char* name() const override { return "basic_delay"; }
 
   Rate mu_estimate() const { return mu_; }

@@ -85,7 +85,9 @@ class BbrBundle : public BundleCc {
 
   void OnMeasurement(const BundleMeasurement& m) override;
   Rate TargetRate() const override { return core_.PacingRate(); }
-  void Reset(TimePoint now) override { core_.Reset(now, initial_rate_); }
+  void Reset(TimePoint now, Rate seed_rate) override {
+    core_.Reset(now, seed_rate.IsZero() ? initial_rate_ : seed_rate);
+  }
   const char* name() const override { return "bbr"; }
 
  private:

@@ -73,8 +73,11 @@ class BundleCc {
   // The base sending rate r(t) for the bundle (before Nimbus pulsing).
   virtual Rate TargetRate() const = 0;
   // Re-initialize state; called when the sendbox re-enters delay-control mode
-  // after passing traffic through (§5.1).
-  virtual void Reset(TimePoint now) = 0;
+  // after passing traffic through (§5.1). `seed_rate` zero restarts cold from
+  // the configured initial rate; nonzero restarts warm from that observed
+  // rate (the sendbox's measured egress rate at the mode switch), so the
+  // controller does not collapse the bundle while it relearns the path.
+  virtual void Reset(TimePoint now, Rate seed_rate) = 0;
   virtual const char* name() const = 0;
 };
 

@@ -12,10 +12,12 @@ Copa::Copa(Rate initial_rate) : Copa(initial_rate, Params()) {}
 Copa::Copa(Rate initial_rate, const Params& params)
     : params_(params),
       initial_rate_(initial_rate),
+      seed_rate_(initial_rate),
       cwnd_pkts_(kInitialCwndPkts),
       standing_rtt_filter_(TimeDelta::Millis(50)) {}
 
-void Copa::Reset(TimePoint now) {
+void Copa::Reset(TimePoint now, Rate seed_rate) {
+  seed_rate_ = seed_rate.IsZero() ? initial_rate_ : seed_rate;
   cwnd_pkts_ = kInitialCwndPkts;
   cwnd_seeded_ = false;
   have_srtt_ = false;
@@ -60,10 +62,11 @@ void Copa::OnMeasurement(const BundleMeasurement& m) {
     srtt_ = TimeDelta::Nanos((srtt_.nanos() * 7 + m.rtt.nanos()) / 8);
   }
   if (!cwnd_seeded_) {
-    // Seed the window model from the configured starting rate so TargetRate
-    // does not collapse to kInitialCwndPkts/RTT on the first measurement.
+    // Seed the window model from the starting rate (configured initial, or
+    // the observed rate a warm Reset passed) so TargetRate does not collapse
+    // to kInitialCwndPkts/RTT on the first measurement.
     TimeDelta basis = m.min_rtt > TimeDelta::Zero() ? m.min_rtt : m.rtt;
-    double seed = initial_rate_.BytesPerSecond() * basis.ToSeconds() / kMssBytes;
+    double seed = seed_rate_.BytesPerSecond() * basis.ToSeconds() / kMssBytes;
     cwnd_pkts_ = std::max(cwnd_pkts_, seed);
     cwnd_seeded_ = true;
   }

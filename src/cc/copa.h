@@ -29,7 +29,7 @@ class Copa : public BundleCc {
 
   void OnMeasurement(const BundleMeasurement& m) override;
   Rate TargetRate() const override;
-  void Reset(TimePoint now) override;
+  void Reset(TimePoint now, Rate seed_rate) override;
   const char* name() const override { return "copa"; }
 
   double cwnd_pkts() const { return cwnd_pkts_; }
@@ -42,6 +42,7 @@ class Copa : public BundleCc {
 
   Params params_;
   Rate initial_rate_;
+  Rate seed_rate_;  // window-seed basis; initial_rate_ unless Reset was warm
   double cwnd_pkts_;
   bool cwnd_seeded_ = false;
   TimeDelta srtt_ = TimeDelta::Millis(100);

@@ -16,7 +16,24 @@ Link::Link(Simulator* sim, std::string name, Rate rate, TimeDelta prop_delay,
       dst_(dst) {
   BUNDLER_CHECK(sim_ != nullptr);
   BUNDLER_CHECK(queue_ != nullptr);
-  BUNDLER_CHECK(!rate_.IsZero());
+  // A zero initial rate is allowed: the link starts parked and waits for
+  // set_rate (NetBuilder::AddLink is stricter for static topologies).
+  parked_ = rate_.TransmitTime(kMtuBytes).IsInfinite();
+}
+
+void Link::set_rate(Rate rate) {
+  rate_ = rate;
+  parked_ = rate_.TransmitTime(kMtuBytes).IsInfinite();
+  // A parked or idle link may now be able to move its queue. The in-flight
+  // packet (if any) is untouched: busy_ holds until its already-scheduled
+  // completion, so it finishes at the rate its transmission started with.
+  MaybeStartTransmission();
+}
+
+void Link::set_prop_delay(TimeDelta delay) {
+  BUNDLER_CHECK_MSG(delay >= TimeDelta::Zero(), "link '%s': negative prop delay",
+                    name_.c_str());
+  prop_delay_ = delay;
 }
 
 void Link::HandlePacket(Packet pkt) {
@@ -35,7 +52,9 @@ void Link::HandlePacket(Packet pkt) {
 }
 
 void Link::MaybeStartTransmission() {
-  if (busy_) {
+  if (busy_ || parked_) {
+    // Parked: a zero (or unusably slow) rate would overflow serialization
+    // math; hold the queue until set_rate makes the link usable again.
     return;
   }
   std::optional<Packet> pkt = queue_->Dequeue(sim_->now());
@@ -48,6 +67,7 @@ void Link::MaybeStartTransmission() {
     obs->OnDequeue(*pkt, queue_delay, sim_->now());
   }
   TimeDelta tx = rate_.TransmitTime(pkt->size_bytes);
+  BUNDLER_CHECK(!tx.IsInfinite());
   // The in-flight packet rides inside the event's inline storage (sized for
   // exactly this: a Packet plus the owning pointer), so per-hop scheduling
   // does not allocate.

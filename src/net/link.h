@@ -1,6 +1,17 @@
-// Store-and-forward link: fixed serialization rate, fixed propagation delay,
-// and a pluggable egress queue discipline. A Link is itself a PacketHandler,
-// so topologies compose uniformly (host -> link -> router -> link -> ...).
+// Store-and-forward link: serialization rate, propagation delay, and a
+// pluggable egress queue discipline. A Link is itself a PacketHandler, so
+// topologies compose uniformly (host -> link -> router -> link -> ...).
+//
+// Rate and delay are mutable mid-run (set_rate / set_prop_delay) so link
+// schedules can model failures and time-varying paths. Semantics:
+//  - The packet currently being serialized finishes at the rate in force
+//    when its transmission started; queued packets drain at the new rate.
+//  - Rate zero (or a rate too slow to serialize an MTU in finite simulated
+//    time) *parks* the link: nothing dequeues, arrivals accumulate in the
+//    queue and drop under its normal policy. A later set_rate restarts
+//    transmission; parked sojourn counts toward queue delay.
+//  - set_prop_delay applies to packets finishing serialization from now on;
+//    bits already propagating keep the delay they departed with.
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
 
@@ -45,6 +56,17 @@ class Link : public PacketHandler {
   TimeDelta prop_delay() const { return prop_delay_; }
   const std::string& name() const { return name_; }
 
+  // Change the serialization rate going forward (see the header comment for
+  // the in-flight / queued / zero-rate semantics). Unparks the link when the
+  // new rate can move packets again.
+  void set_rate(Rate rate);
+  // Change the propagation delay for packets finishing serialization from
+  // now on. Must be >= 0.
+  void set_prop_delay(TimeDelta delay);
+  // True when the current rate cannot serialize a full MTU in finite
+  // simulated time, so the link holds its queue and waits for set_rate.
+  bool parked() const { return parked_; }
+
   void AddObserver(LinkObserver* obs) { observers_.push_back(obs); }
   void set_dst(PacketHandler* dst) { dst_ = dst; }
 
@@ -59,6 +81,9 @@ class Link : public PacketHandler {
   std::unique_ptr<Qdisc> queue_;
   PacketHandler* dst_;
   bool busy_ = false;
+  // Cached "rate cannot serialize an MTU" verdict: recomputed only on
+  // set_rate, so the per-packet transmission path stays integer-only.
+  bool parked_ = false;
   LinkStats stats_;
   std::vector<LinkObserver*> observers_;
 };

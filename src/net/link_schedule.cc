@@ -1,0 +1,63 @@
+#include "src/net/link_schedule.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+LinkScheduleDriver::LinkScheduleDriver(Simulator* sim, Link* link,
+                                       std::vector<LinkEventSpec> events,
+                                       TimeDelta repeat_period)
+    : sim_(sim), link_(link), events_(std::move(events)), repeat_period_(repeat_period) {
+  BUNDLER_CHECK(sim_ != nullptr);
+  BUNDLER_CHECK(link_ != nullptr);
+  BUNDLER_CHECK_MSG(!events_.empty(), "link schedule for '%s' has no events",
+                    link_->name().c_str());
+  for (size_t i = 0; i + 1 < events_.size(); ++i) {
+    BUNDLER_CHECK_MSG(events_[i].at < events_[i + 1].at,
+                      "link schedule for '%s': event %zu (t=%s) not before event %zu "
+                      "(t=%s)",
+                      link_->name().c_str(), i, events_[i].at.ToString().c_str(), i + 1,
+                      events_[i + 1].at.ToString().c_str());
+  }
+  BUNDLER_CHECK_MSG(
+      repeat_period_.IsZero() ||
+          repeat_period_ > events_.back().at - TimePoint::Zero(),
+      "link schedule for '%s': repeat period %s does not clear the last event (t=%s)",
+      link_->name().c_str(), repeat_period_.ToString().c_str(),
+      events_.back().at.ToString().c_str());
+  Arm();
+}
+
+LinkScheduleDriver::~LinkScheduleDriver() {
+  if (timer_ != kInvalidEventId) {
+    sim_->Cancel(timer_);
+  }
+}
+
+void LinkScheduleDriver::Arm() {
+  // One pooled slot, re-armed per event: the inline-callback engine makes
+  // this allocation-free however long the trace runs.
+  timer_ = sim_->ScheduleAt(events_[next_].at + cycle_offset_, [this]() { Fire(); });
+}
+
+void LinkScheduleDriver::Fire() {
+  timer_ = kInvalidEventId;
+  const LinkEventSpec& ev = events_[next_];
+  if (ev.set_delay) {
+    link_->set_prop_delay(ev.delay);
+  }
+  link_->set_rate(ev.rate);
+  ++fired_;
+  if (++next_ == events_.size()) {
+    if (repeat_period_.IsZero()) {
+      return;  // one-shot timeline exhausted
+    }
+    next_ = 0;
+    cycle_offset_ += repeat_period_;
+  }
+  Arm();
+}
+
+}  // namespace bundler

@@ -1,0 +1,63 @@
+// Time-varying link driver: applies a piecewise (time, rate[, delay])
+// schedule to a Link through the event engine. This is the runtime half of
+// NetBuilder's AddLinkEvent/AddLinkSchedule timeline — the builder validates
+// and stores the declarative form, Build() materializes one driver per
+// scheduled link, and from then on the driver walks its (immutable,
+// preallocated) event list with a single rearming one-shot timer, so a
+// looping trace of any length costs one pooled event slot and zero heap
+// allocations per applied event.
+#ifndef SRC_NET_LINK_SCHEDULE_H_
+#define SRC_NET_LINK_SCHEDULE_H_
+
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace bundler {
+
+// One point of a link timeline. `at` is relative to the schedule's start
+// (simulation time zero for schedules declared on a NetBuilder).
+struct LinkEventSpec {
+  TimePoint at;
+  Rate rate;               // new serialization rate; zero parks the link
+  bool set_delay = false;  // when true, also apply `delay`
+  TimeDelta delay = TimeDelta::Zero();
+};
+
+class LinkScheduleDriver {
+ public:
+  // Applies `events` (strictly increasing `at`, validated by the caller —
+  // NetBuilder CHECKs at declaration time) to `link`. With `repeat_period`
+  // nonzero the timeline loops: iteration k applies event i at
+  // k * repeat_period + events[i].at, so `repeat_period` must exceed the last
+  // event's offset.
+  LinkScheduleDriver(Simulator* sim, Link* link, std::vector<LinkEventSpec> events,
+                     TimeDelta repeat_period = TimeDelta::Zero());
+  ~LinkScheduleDriver();
+  LinkScheduleDriver(const LinkScheduleDriver&) = delete;
+  LinkScheduleDriver& operator=(const LinkScheduleDriver&) = delete;
+
+  Link* link() { return link_; }
+  // Events applied so far (across repeats).
+  uint64_t fired() const { return fired_; }
+  // True when a one-shot schedule has applied its last event.
+  bool done() const { return timer_ == kInvalidEventId; }
+
+ private:
+  void Arm();
+  void Fire();
+
+  Simulator* sim_;
+  Link* link_;
+  const std::vector<LinkEventSpec> events_;
+  const TimeDelta repeat_period_;
+  size_t next_ = 0;
+  TimeDelta cycle_offset_ = TimeDelta::Zero();
+  uint64_t fired_ = 0;
+  EventId timer_ = kInvalidEventId;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_NET_LINK_SCHEDULE_H_

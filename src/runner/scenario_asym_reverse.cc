@@ -165,5 +165,26 @@ void RegisterAsymReversePath(ScenarioRegistry* registry) {
   });
 }
 
+void RegisterAsymReverseSweep(ScenarioRegistry* registry) {
+  // Dedicated fine sweep around the ~8 Mbit/s reverse capacity where PR 3's
+  // coarse asym_reverse showed the out-of-band feedback loop collapsing:
+  // feedback_delivered_per_sec and bundle throughput localize the threshold,
+  // and FCT shows what the collapse costs end users. Same trial body as
+  // asym_reverse — only the axis resolution differs.
+  ScenarioSpec spec;
+  spec.name = "asym_reverse_sweep";
+  spec.summary =
+      "Fine reverse-capacity sweep (5..12 Mbit/s) around the feedback-collapse "
+      "threshold asym_reverse found at ~8 Mbit/s";
+  spec.variants = {"status_quo", "bundler"};
+  spec.axes = {{"reverse_mbps", {5, 6, 7, 8, 10, 12}}};
+  spec.default_trials = 3;
+  registry->Register(std::move(spec), RunTrial, []() {
+    return BuildAndRenderDot(
+        AsymReverseBuilder(Rate::Mbps(7), /*bundled=*/true, nullptr),
+        "asym_reverse_sweep");
+  });
+}
+
 }  // namespace runner
 }  // namespace bundler

@@ -54,7 +54,8 @@ double PassthroughFraction(const std::vector<std::pair<TimePoint, BundlerMode>>&
 }
 
 TrialResult RunTrial(const TrialPoint& point) {
-  bool bundler_on = point.variant == "bundler";
+  bool warm = point.variant == "bundler_warm";
+  bool bundler_on = warm || point.variant == "bundler";
   BUNDLER_CHECK_MSG(bundler_on || point.variant == "status_quo",
                     "unknown fig10 variant '%s'", point.variant.c_str());
 
@@ -64,6 +65,10 @@ TrialResult RunTrial(const TrialPoint& point) {
   cfg.rtt = TimeDelta::Millis(50);
   cfg.bundler_enabled = bundler_on;
   cfg.rate_meter_window = TimeDelta::Millis(500);
+  // The warm-restart variant (fig10_warm_restart scenario) re-seeds the rate
+  // controller from the observed egress rate at pass-through exits — the fix
+  // for the phase-3 reproduction gap, kept out of the pinned default.
+  cfg.sendbox.warm_restart = warm;
   Dumbbell net(&sim, cfg);
 
   SizeCdf cdf = SizeCdf::InternetCoreRouter();
@@ -138,6 +143,22 @@ void RegisterFig10CrossTraffic(ScenarioRegistry* registry) {
   topo.rtt = TimeDelta::Millis(50);
   registry->Register(std::move(spec), RunTrial,
                      DumbbellTopology(topo, "fig10_cross_traffic"));
+
+  // Companion scenario for the phase-3 gap: identical timeline, but the
+  // sendbox re-seeds its controller from the observed rate when leaving
+  // pass-through (Sendbox::Config::warm_restart). Registered separately so
+  // fig10_cross_traffic's pinned output stays byte-identical; compare this
+  // file's phase-3 FCT/throughput against fig10's bundler and status_quo
+  // cells (README "Dynamic link events" holds the before/after table).
+  ScenarioSpec warm;
+  warm.name = "fig10_warm_restart";
+  warm.summary =
+      "Fig 10 timeline with warm controller restarts at pass-through exit; "
+      "the phase-3 fix, kept out of the pinned fig10_cross_traffic";
+  warm.variants = {"bundler_warm"};
+  warm.default_trials = 3;
+  registry->Register(std::move(warm), RunTrial,
+                     DumbbellTopology(topo, "fig10_warm_restart"));
 }
 
 }  // namespace runner

@@ -10,10 +10,11 @@
 // (parking-lot multi-bottleneck, asymmetric reverse paths, ...) are a few
 // declarations instead of bespoke constructor plumbing.
 //
-// Determinism contract: Build materializes event-scheduling components (only
-// sendboxes schedule at construction) in declaration order, so two builders
-// declaring the same graph in the same order drive byte-identical
-// simulations.
+// Determinism contract: Build materializes event-scheduling components
+// (sendboxes, then link-schedule drivers) in declaration order, so two
+// builders declaring the same graph in the same order drive byte-identical
+// simulations. A graph without link schedules produces exactly the event
+// sequence it did before schedules existed.
 #ifndef SRC_TOPO_NET_BUILDER_H_
 #define SRC_TOPO_NET_BUILDER_H_
 
@@ -25,6 +26,7 @@
 #include "src/bundler/receivebox.h"
 #include "src/bundler/sendbox.h"
 #include "src/net/link.h"
+#include "src/net/link_schedule.h"
 #include "src/net/monitors.h"
 #include "src/net/multipath_link.h"
 #include "src/net/router.h"
@@ -47,6 +49,7 @@ class NetBuilder {
   using EdgeId = int;
   using BundleId = int;
   using MonitorId = int;
+  using ScheduleId = int;
 
   // Per-link configuration. The default queue is a byte-limited drop-tail
   // FIFO; `qdisc_factory` overrides it (e.g. DRR for an in-network fair
@@ -86,6 +89,24 @@ class NetBuilder {
   MonitorId AddQueueMonitor(EdgeId edge, PacketPredicate filter = nullptr);
   MonitorId AddRateMeter(EdgeId edge, TimeDelta window, PacketPredicate filter = nullptr);
 
+  // --- Dynamic link events (failure injection, time-varying capacity) ---
+  // One-shot rate change on a plain link at absolute simulation time `at`
+  // (optionally also changing the propagation delay). Each call is an
+  // independent schedule; CHECK-fails on wires/multipath edges (their rates
+  // are fixed) and on negative times. Rate zero parks the link (see
+  // net/link.h for the mid-transmission semantics).
+  ScheduleId AddLinkEvent(EdgeId link, TimePoint at, Rate rate);
+  ScheduleId AddLinkEvent(EdgeId link, TimePoint at, Rate rate, TimeDelta delay);
+  // Piecewise timeline for one link: `events` must be strictly increasing in
+  // time (CHECK-fails otherwise — out-of-order traces are almost always a
+  // transcription bug). With `repeat_period` nonzero the timeline loops
+  // (trace form: iteration k applies event i at k * period + events[i].at),
+  // so the period must exceed the last event's offset. Build() materializes
+  // each schedule as a LinkScheduleDriver whose rearming one-shot timer
+  // never heap-allocates.
+  ScheduleId AddLinkSchedule(EdgeId link, std::vector<LinkEventSpec> events,
+                             TimeDelta repeat_period = TimeDelta::Zero());
+
   // --- Introspection ---
   // Graphviz DOT of the declared graph: sites, routers, links (rate/delay),
   // bundle attachments and monitors. Does not require Build.
@@ -93,6 +114,7 @@ class NetBuilder {
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_edges() const { return edges_.size(); }
   size_t num_bundles() const { return bundles_.size(); }
+  size_t num_link_schedules() const { return schedules_.size(); }
 
   // Validates the declared graph and materializes it into `sim`. CHECK-fails
   // with a readable message on graph errors. May be called more than once
@@ -126,6 +148,11 @@ class NetBuilder {
     TimeDelta window = TimeDelta::Zero();  // kRateMeter only
     PacketPredicate filter;
   };
+  struct ScheduleDecl {
+    EdgeId edge = -1;
+    std::vector<LinkEventSpec> events;
+    TimeDelta repeat_period = TimeDelta::Zero();  // zero => one-shot timeline
+  };
 
   NodeId CheckNode(NodeId id, const char* what) const;
   EdgeId CheckEdge(EdgeId id, const char* what) const;
@@ -135,6 +162,7 @@ class NetBuilder {
   std::vector<EdgeDecl> edges_;
   std::vector<BundleSpec> bundles_;
   std::vector<MonitorDecl> monitors_;
+  std::vector<ScheduleDecl> schedules_;
 };
 
 // The materialized network. Owns every component; accessors hand out raw
@@ -169,6 +197,8 @@ class Net {
   QueueDelayMonitor* queue_monitor(NetBuilder::MonitorId id);
   RateMeter* rate_meter(NetBuilder::MonitorId id);
 
+  LinkScheduleDriver* link_schedule(NetBuilder::ScheduleId id);
+
  private:
   friend class NetBuilder;
   explicit Net(Simulator* sim) : sim_(sim) {}
@@ -187,6 +217,7 @@ class Net {
   std::vector<std::unique_ptr<Receivebox>> receiveboxes_;
   std::vector<std::unique_ptr<QueueDelayMonitor>> queue_monitors_;
   std::vector<std::unique_ptr<RateMeter>> rate_meters_;
+  std::vector<std::unique_ptr<LinkScheduleDriver>> link_schedules_;
 };
 
 }  // namespace bundler

@@ -410,8 +410,9 @@ void TcpSender::OnAck(const Packet& ack) {
   TrySend();
 }
 
-TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
-                        std::function<void(TimePoint)> on_receiver_complete) {
+TcpSender* CreateTcpFlow(FlowTable* table, Host* src, Host* dst,
+                         const TcpFlowParams& params,
+                         std::function<void(TimePoint)> on_receiver_complete) {
   uint64_t flow_id = table->AllocFlowId();
   FlowKey key;
   key.src = src->address();
@@ -422,7 +423,12 @@ TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowPar
   key.dst_port = dst->AllocPort();
   key.protocol = 6;
   table->Emplace<TcpReceiver>(dst, flow_id, std::move(on_receiver_complete));
-  TcpSender* sender = table->Emplace<TcpSender>(src, flow_id, key, params);
+  return table->Emplace<TcpSender>(src, flow_id, key, params);
+}
+
+TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
+                        std::function<void(TimePoint)> on_receiver_complete) {
+  TcpSender* sender = CreateTcpFlow(table, src, dst, params, std::move(on_receiver_complete));
   sender->Start();
   return sender;
 }

@@ -164,8 +164,15 @@ class TcpSender : public PacketHandler {
   HostCcStorage cc_storage_;  // controller lives inline: no per-flow heap churn
 };
 
-// Wires up a sender on `src` and receiver on `dst` and starts the flow.
-// `on_receiver_complete` may be null (e.g. backlogged flows).
+// Wires up a sender on `src` and receiver on `dst` without transmitting
+// anything; the caller invokes Start() (possibly later, via a scheduled
+// event) to begin. `on_receiver_complete` may be null (e.g. backlogged
+// flows).
+TcpSender* CreateTcpFlow(FlowTable* table, Host* src, Host* dst,
+                         const TcpFlowParams& params,
+                         std::function<void(TimePoint)> on_receiver_complete);
+
+// CreateTcpFlow + immediate Start().
 TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
                         std::function<void(TimePoint)> on_receiver_complete);
 

@@ -6,6 +6,7 @@
 #define SRC_UTIL_RATE_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "src/util/time.h"
@@ -36,13 +37,19 @@ class Rate {
   constexpr double BytesPerSecond() const { return bps_ / 8.0; }
   constexpr bool IsZero() const { return bps_ <= 0.0; }
 
-  // Time to serialize `bytes` at this rate.
+  // Time to serialize `bytes` at this rate. Zero and near-zero rates saturate
+  // to Infinite instead of overflowing the nanosecond cast (a ~12 kbit/s link
+  // already serializes an MTU in about a second; a rate so low that an MTU
+  // takes longer than ~292 years is indistinguishable from a dead link).
   TimeDelta TransmitTime(int64_t bytes) const {
     if (bps_ <= 0.0) {
       return TimeDelta::Infinite();
     }
-    return TimeDelta::Nanos(
-        static_cast<int64_t>(static_cast<double>(bytes) * 8.0 * 1e9 / bps_ + 0.5));
+    double ns = static_cast<double>(bytes) * 8.0 * 1e9 / bps_ + 0.5;
+    if (ns >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+      return TimeDelta::Infinite();
+    }
+    return TimeDelta::Nanos(static_cast<int64_t>(ns));
   }
 
   // Bytes transferred at this rate over `delta`.

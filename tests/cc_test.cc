@@ -295,9 +295,30 @@ TEST(CopaTest, ResetRestoresInitialState) {
     copa.OnMeasurement(Meas(now, TimeDelta::Millis(150), TimeDelta::Millis(50),
                             Rate::Mbps(48), Rate::Mbps(48)));
   }
-  copa.Reset(now);
+  copa.Reset(now, Rate::Zero());
   EXPECT_TRUE(copa.in_slow_start());
   EXPECT_DOUBLE_EQ(copa.velocity(), 1.0);
+}
+
+TEST(CopaTest, WarmResetSeedsWindowFromObservedRate) {
+  // A cold reset reseeds the window from the configured initial rate (12
+  // Mbit/s); a warm reset passes the observed rate at the mode switch, so
+  // the first post-reset measurement seeds a proportionally larger window
+  // and the controller does not collapse the bundle while it relearns.
+  TimePoint now;
+  auto first_cwnd_after = [&](Rate seed) {
+    Copa copa(Rate::Mbps(12));
+    copa.Reset(now, seed);
+    copa.OnMeasurement(Meas(now + TimeDelta::Millis(50), TimeDelta::Millis(52),
+                            TimeDelta::Millis(50), Rate::Mbps(72), Rate::Mbps(72)));
+    return copa.cwnd_pkts();
+  };
+  double cold = first_cwnd_after(Rate::Zero());
+  double warm = first_cwnd_after(Rate::Mbps(72));
+  // The seed basis is 6x larger (72 vs 12 Mbit/s); the slow-start ack term
+  // common to both dilutes the ratio, but the warm window must stay a
+  // multiple of the cold one.
+  EXPECT_GT(warm, 2.0 * cold);
 }
 
 TEST(CopaTest, IgnoresStaleMeasurements) {
@@ -405,9 +426,9 @@ TEST_P(BundleCcPropertyTest, ResetIsIdempotent) {
     cc->OnMeasurement(Meas(now, TimeDelta::Millis(80), TimeDelta::Millis(50),
                            Rate::Mbps(20), Rate::Mbps(20)));
   }
-  cc->Reset(now);
+  cc->Reset(now, Rate::Zero());
   Rate r1 = cc->TargetRate();
-  cc->Reset(now);
+  cc->Reset(now, Rate::Zero());
   EXPECT_DOUBLE_EQ(cc->TargetRate().bps(), r1.bps());
 }
 
