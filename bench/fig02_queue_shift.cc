@@ -1,78 +1,15 @@
 // Figure 2: queue shifting. Without Bundler, the standing queue builds at the
 // in-network bottleneck while the edge sits idle; with Bundler the queue
-// moves to the sendbox. Prints both queue-delay time series (status quo vs.
-// Bundler) downsampled to 1 s buckets.
-#include <cstdio>
-
+// moves to the sendbox. Thin wrapper over the "fig02_queue_shift" registered
+// scenario (src/runner/scenario_fig02.cc), which owns the topology, the
+// QdiscSampler wiring, and the per-variant delay metrics.
 #include "bench/bench_common.h"
-#include "src/app/workload.h"
-#include "src/metrics/queue_monitor.h"
-#include "src/topo/dumbbell.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/util/table.h"
 
 namespace bundler {
 namespace {
-
-struct QueueShiftResult {
-  std::vector<TimeSeries::Sample> bottleneck_ms;
-  std::vector<TimeSeries::Sample> edge_ms;
-  double bottleneck_mean = 0;
-  double edge_mean = 0;
-};
-
-QueueShiftResult RunOne(bool bundler_on) {
-  Simulator sim;
-  DumbbellConfig cfg;
-  cfg.bottleneck_rate = Rate::Mbps(96);
-  cfg.rtt = TimeDelta::Millis(50);
-  cfg.bundler_enabled = bundler_on;
-  Dumbbell net(&sim, cfg);
-
-  // The figure uses a single long-running flow.
-  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 1, HostCcType::kCubic,
-                 TimePoint::Zero());
-
-  // Edge queue: the sendbox scheduler when enabled, else the edge link queue
-  // (which stays empty because the edge is not the bottleneck).
-  std::unique_ptr<QdiscSampler> edge_sampler;
-  if (bundler_on) {
-    edge_sampler = std::make_unique<QdiscSampler>(
-        &sim, net.sendbox()->scheduler(), TimeDelta::Millis(100),
-        [&net]() { return net.sendbox()->current_rate(); });
-  } else {
-    edge_sampler = std::make_unique<QdiscSampler>(
-        &sim, net.path_link(0)->queue(), TimeDelta::Millis(100),
-        [&cfg]() { return cfg.bottleneck_rate; });
-  }
-
-  const TimeDelta kDur = TimeDelta::Seconds(60);
-  sim.RunUntil(TimePoint::Zero() + kDur);
-
-  QueueShiftResult r;
-  TimePoint tail_from = TimePoint::Zero() + TimeDelta::Seconds(10);
-  TimePoint tail_to = TimePoint::Zero() + kDur;
-  r.bottleneck_ms = net.bottleneck_delay()->delay_ms().Downsample(TimeDelta::Seconds(2));
-  r.bottleneck_mean = net.bottleneck_delay()->delay_ms().MeanInRange(tail_from, tail_to);
-  if (bundler_on) {
-    r.edge_ms = net.sendbox()->queue_delay_log().Downsample(TimeDelta::Seconds(2));
-    r.edge_mean = net.sendbox()->queue_delay_log().MeanInRange(tail_from, tail_to);
-  } else {
-    r.edge_ms = edge_sampler->delay_ms().Downsample(TimeDelta::Seconds(2));
-    r.edge_mean = edge_sampler->delay_ms().MeanInRange(tail_from, tail_to);
-  }
-  return r;
-}
-
-void PrintSeries(const char* label, const std::vector<TimeSeries::Sample>& s) {
-  std::printf("%s:\n  t(s):  ", label);
-  for (const auto& p : s) {
-    std::printf("%6.0f", p.time.ToSeconds());
-  }
-  std::printf("\n  d(ms): ");
-  for (const auto& p : s) {
-    std::printf("%6.1f", p.value);
-  }
-  std::printf("\n");
-}
 
 void Run() {
   bench::PrintHeader(
@@ -80,20 +17,30 @@ void Run() {
       "status quo: delays build at the bottleneck, edge idle; with Bundler the "
       "queue shifts to the sendbox");
 
-  QueueShiftResult sq = RunOne(false);
-  QueueShiftResult bd = RunOne(true);
+  runner::ScenarioSummary summary = bench::RunRegisteredScenario("fig02_queue_shift");
+  const runner::CellSummary* sq = runner::FindCell(summary, "status_quo");
+  const runner::CellSummary* bd = runner::FindCell(summary, "bundler");
 
-  std::printf("\n--- (a) Status Quo ---\n");
-  PrintSeries("bottleneck queue delay", sq.bottleneck_ms);
-  PrintSeries("edge-router queue delay", sq.edge_ms);
-  std::printf("\n--- (b) With Bundler ---\n");
-  PrintSeries("bottleneck queue delay", bd.bottleneck_ms);
-  PrintSeries("sendbox queue delay", bd.edge_ms);
+  Table table({"variant", "bottleneck mean (ms)", "bottleneck p95 (ms)",
+               "edge mean (ms)", "edge p95 (ms)"});
+  for (const auto& [label, cell] :
+       {std::pair<const char*, const runner::CellSummary*>{"StatusQuo", sq},
+        {"Bundler", bd}}) {
+    table.AddRow({label,
+                  Table::Num(cell->scalars.at("bottleneck_delay_mean_ms").mean, 1),
+                  Table::Num(cell->scalars.at("bottleneck_delay_p95_ms").mean, 1),
+                  Table::Num(cell->scalars.at("edge_delay_mean_ms").mean, 1),
+                  Table::Num(cell->scalars.at("edge_delay_p95_ms").mean, 1)});
+  }
+  table.Print();
 
   bench::PrintHeadline(
       "steady-state mean queue delay: status quo %.1f ms at bottleneck / %.1f ms at "
       "edge; with Bundler %.1f ms at bottleneck / %.1f ms at sendbox (queue shifted)",
-      sq.bottleneck_mean, sq.edge_mean, bd.bottleneck_mean, bd.edge_mean);
+      sq->scalars.at("bottleneck_delay_mean_ms").mean,
+      sq->scalars.at("edge_delay_mean_ms").mean,
+      bd->scalars.at("bottleneck_delay_mean_ms").mean,
+      bd->scalars.at("edge_delay_mean_ms").mean);
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 
 #include "src/bundler/epoch.h"
 #include "src/net/link.h"
+#include "src/obs/trace.h"
 #include "src/net/link_schedule.h"
 #include "src/qdisc/fifo.h"
 #include "src/qdisc/fq_codel.h"
@@ -388,6 +389,39 @@ BenchResult BenchLinkEventRearmChurn() {
   return r;
 }
 
+// The flight recorder's disabled hot path: a trace point whose category is
+// not in the armed mask costs one mask-load + shift + test + branch. This is
+// what every instrumented site pays when bundler_run runs without --trace
+// (mask 0) or with the site's category filtered out. The volatile category
+// read keeps the compiler from constant-folding the mask test away.
+BenchResult BenchTraceDisabledHook() {
+  obs::Tracer t;
+  t.Enable(obs::CatBit(obs::TraceCat::kSim), 16);  // armed, but not for kQdisc
+  uint32_t comp = t.RegisterComponent("bench", "cold");
+  volatile uint8_t cat_raw = static_cast<uint8_t>(obs::TraceCat::kQdisc);
+  BenchResult r = Measure("trace_disabled_hook", 1 << 16, 1 << 22, [&](uint64_t i) {
+    t.Trace(static_cast<obs::TraceCat>(cat_raw), obs::TraceEv::kQdiscEnq, comp,
+            TimePoint::FromNanos(static_cast<int64_t>(i)), i);
+  });
+  g_sink = g_sink + t.size();
+  return r;
+}
+
+// The enabled hot path: recording into a preallocated ring, including wrap
+// and eviction. scripts/bench.sh gates allocs_per_op at zero — the "no
+// allocations per record when tracing is enabled" contract, measured.
+BenchResult BenchTraceRecordEnabled() {
+  obs::Tracer t;
+  t.Enable(obs::kAllCats, 1 << 16);
+  uint32_t comp = t.RegisterComponent("bench", "hot");
+  BenchResult r = Measure("trace_record_enabled", 1 << 16, 1 << 22, [&](uint64_t i) {
+    t.Trace(obs::TraceCat::kQdisc, obs::TraceEv::kQdiscEnq, comp,
+            TimePoint::FromNanos(static_cast<int64_t>(i)), i, i, i);
+  });
+  g_sink = g_sink + t.dropped();
+  return r;
+}
+
 // End to end: the paper-default experiment (96 Mbit/s bottleneck, 84 Mbit/s
 // web load, Bundler on) measured in simulator events per wall second.
 BenchResult BenchEndToEndExperiment() {
@@ -410,14 +444,45 @@ BenchResult BenchEndToEndExperiment() {
   return r;
 }
 
+// Same experiment with the flight recorder armed for every category. Reports
+// per-event cost with tracing on and, via `records_per_event_out`, how many
+// trace records the datapath emits per simulator event — the multiplier that
+// turns the disabled-hook cost into a whole-run overhead bound. Allocations
+// are counted after Enable() preallocates the ring, so allocs_per_op reflects
+// the recording path itself (plus the experiment's own baseline churn).
+BenchResult BenchEndToEndExperimentTraced(double* records_per_event_out) {
+  ExperimentConfig cfg = PaperExperimentDefaults(/*bundler_on=*/true, /*seed=*/1);
+  cfg.duration = TimeDelta::Seconds(5);
+  cfg.warmup = TimeDelta::Seconds(1);
+  Experiment e(cfg);
+  e.sim()->trace().Enable(obs::kAllCats, 1 << 18);
+  uint64_t allocs_before = g_heap_allocs;
+  Clock::time_point start = Clock::now();
+  e.Run();
+  Clock::time_point end = Clock::now();
+  double sec = std::chrono::duration<double>(end - start).count();
+  uint64_t events = e.sim()->events_dispatched();
+  uint64_t records = e.sim()->trace().size() + e.sim()->trace().dropped();
+  *records_per_event_out = static_cast<double>(records) / static_cast<double>(events);
+  BenchResult r;
+  r.name = "end_to_end_experiment_traced";
+  r.ns_per_op = sec / static_cast<double>(events) * 1e9;
+  r.ops_per_sec = static_cast<double>(events) / sec;
+  r.allocs_per_op = static_cast<double>(g_heap_allocs - allocs_before) /
+                    static_cast<double>(events);
+  return r;
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
-               double speedup) {
+               double speedup, double records_per_event, double disabled_overhead) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"schedule_dispatch_speedup_vs_legacy\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"trace_records_per_event\": %.4f,\n", records_per_event);
+  std::fprintf(f, "  \"tracing_disabled_overhead_frac\": %.6f,\n", disabled_overhead);
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -463,7 +528,20 @@ int Run(const std::string& json_path) {
   results.push_back(BenchPeriodicDispatch());
   results.push_back(BenchTcpRecoveryChurn());
   results.push_back(BenchLinkEventRearmChurn());
-  results.push_back(BenchEndToEndExperiment());
+  BenchResult disabled_hook = BenchTraceDisabledHook();
+  results.push_back(disabled_hook);
+  results.push_back(BenchTraceRecordEnabled());
+  BenchResult e2e = BenchEndToEndExperiment();
+  results.push_back(e2e);
+  double records_per_event = 0;
+  results.push_back(BenchEndToEndExperimentTraced(&records_per_event));
+
+  // Tracing-disabled overhead bound: every record the fully-traced run emits
+  // corresponds to one branch-only hook execution in an untraced run, so the
+  // whole-run overhead is at most hook-cost x records/event over the untraced
+  // per-event cost. scripts/bench.sh gates this at 2%.
+  double disabled_overhead =
+      disabled_hook.ns_per_op * records_per_event / e2e.ns_per_op;
 
   Table table({"benchmark", "ns/op", "ops/sec", "allocs/op"});
   for (const BenchResult& r : results) {
@@ -477,9 +555,12 @@ int Run(const std::string& json_path) {
               "(%.2fx events/sec), %.4f vs %.4f allocs/op\n",
               engine.ns_per_op, legacy.ns_per_op, speedup, engine.allocs_per_op,
               legacy.allocs_per_op);
+  std::printf("tracing: %.2f records/event when fully armed; disabled-hook "
+              "overhead bound %.4f%% of end-to-end run\n",
+              records_per_event, disabled_overhead * 100);
 
   if (!json_path.empty()) {
-    WriteJson(json_path, results, speedup);
+    WriteJson(json_path, results, speedup, records_per_event, disabled_overhead);
   }
   // The engine must not allocate per scheduled event in steady state.
   if (engine.allocs_per_op != 0.0) {

@@ -10,6 +10,13 @@
 # below BENCH_MAX_E2E_ALLOCS (default 0.01) allocs per simulator event, and
 # the qdisc/tcp churn microbenchmarks must stay allocation-free (<= 0.001
 # allocs/op, i.e. zero modulo one-off ring growth).
+#
+# Observability gates (PR 6): the flight recorder must record with zero heap
+# allocations per record when enabled (trace_record_enabled <=
+# BENCH_MAX_TRACE_ALLOCS, default 0.001), and the tracing-disabled overhead
+# bound on end_to_end_experiment (branch-only hook cost x records/event over
+# untraced per-event cost) must stay at or below BENCH_MAX_TRACE_OVERHEAD
+# (default 0.02, i.e. 2%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +24,8 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-2.0}"
 MAX_E2E_ALLOCS="${BENCH_MAX_E2E_ALLOCS:-0.01}"
 MAX_CHURN_ALLOCS="${BENCH_MAX_CHURN_ALLOCS:-0.001}"
+MAX_TRACE_ALLOCS="${BENCH_MAX_TRACE_ALLOCS:-0.001}"
+MAX_TRACE_OVERHEAD="${BENCH_MAX_TRACE_OVERHEAD:-0.02}"
 OUT="${BENCH_OUT:-BENCH_datapath.json}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -55,5 +64,21 @@ for bench in qdisc_droptail_churn qdisc_sfq_churn qdisc_fq_codel_churn \
   }
   echo "${bench} allocs/op: ${ALLOCS} (gate: <= ${MAX_CHURN_ALLOCS})"
 done
+
+# Observability gates: recording must be allocation-free, and instrumented
+# hooks must be effectively free when tracing is off.
+TRACE_ALLOCS="$(alloc_of trace_record_enabled)"
+echo "trace_record_enabled allocs/record: ${TRACE_ALLOCS} (gate: <= ${MAX_TRACE_ALLOCS})"
+awk -v a="${TRACE_ALLOCS}" -v max="${MAX_TRACE_ALLOCS}" 'BEGIN { exit !(a <= max) }' || {
+  echo "bench.sh: FAIL — trace_record_enabled ${TRACE_ALLOCS} allocs/record above gate ${MAX_TRACE_ALLOCS}" >&2
+  exit 1
+}
+TRACE_OVERHEAD="$(grep -o '"tracing_disabled_overhead_frac": [0-9.]*' "${OUT}" |
+  grep -o '[0-9.]*$')"
+echo "tracing-disabled overhead bound: ${TRACE_OVERHEAD} (gate: <= ${MAX_TRACE_OVERHEAD})"
+awk -v o="${TRACE_OVERHEAD}" -v max="${MAX_TRACE_OVERHEAD}" 'BEGIN { exit !(o <= max) }' || {
+  echo "bench.sh: FAIL — tracing-disabled overhead ${TRACE_OVERHEAD} above gate ${MAX_TRACE_OVERHEAD}" >&2
+  exit 1
+}
 
 echo "bench.sh: OK (wrote ${OUT})"

@@ -31,12 +31,17 @@ for scenario in $(./build/bundler_run --list-names); do
   echo "  ${scenario}: topology OK"
 done
 
+# Result files carry one wall-clock "runtime" line (events/sec metadata) that
+# is legitimately nondeterministic; strip it before byte-comparing runs.
+stable() { grep -v '"runtime"' "$1" | grep -v '^# runtime '; }
+
 echo "--- smoke scenario: link_flap (1 trial — exercises zero-rate park/unpark)"
 ./build/bundler_run --scenario link_flap --trials 1 --threads 2 \
   --out build/smoke_flap_t2 --quiet
 ./build/bundler_run --scenario link_flap --trials 1 --threads 4 \
   --out build/smoke_flap_t4 --quiet > /dev/null
-cmp build/smoke_flap_t2/link_flap.json build/smoke_flap_t4/link_flap.json
+cmp <(stable build/smoke_flap_t2/link_flap.json) \
+    <(stable build/smoke_flap_t4/link_flap.json)
 
 echo "--- smoke scenario: fig09_fct (2 trials, 2 threads)"
 ./build/bundler_run --scenario fig09_fct --trials 2 --threads 2 \
@@ -45,7 +50,34 @@ echo "--- smoke scenario: fig09_fct (2 trials, 2 threads)"
 echo "--- determinism: same seeds on 4 threads must match byte-for-byte"
 ./build/bundler_run --scenario fig09_fct --trials 2 --threads 4 \
   --out build/smoke_t4 --quiet > /dev/null
-cmp build/smoke_t2/fig09_fct.json build/smoke_t4/fig09_fct.json
-cmp build/smoke_t2/fig09_fct.csv build/smoke_t4/fig09_fct.csv
+cmp <(stable build/smoke_t2/fig09_fct.json) <(stable build/smoke_t4/fig09_fct.json)
+cmp <(stable build/smoke_t2/fig09_fct.csv) <(stable build/smoke_t4/fig09_fct.csv)
+
+echo "--- traced scenario: fig02_queue_shift with the flight recorder armed"
+./build/bundler_run --scenario fig02_queue_shift --trace all --threads 2 \
+  --out build/smoke_trace_t2 --quiet
+./build/bundler_run --scenario fig02_queue_shift --trace all --threads 4 \
+  --out build/smoke_trace_t4 --quiet > /dev/null
+TRACE=build/smoke_trace_t2/fig02_queue_shift.trace.jsonl
+test -s "${TRACE}"
+
+echo "--- trace JSONL schema: every line is a typed record with mandatory keys"
+awk '
+  /^\{"type":"trial","signature":".+"\}$/ { trials++; next }
+  /^\{"type":"component","id":[0-9]+,"kind":"[a-z_]+","name":".*"\}$/ { next }
+  /^\{"type":"record","t_ns":-?[0-9]+,"cat":"[a-z]+","ev":"[a-z_]+","comp":[0-9]+,"a":[0-9]+,"b":[0-9]+,"c":[0-9]+\}$/ { records++; next }
+  /^\{"type":"trace_end","records":[0-9]+,"dropped":[0-9]+\}$/ { ends++; next }
+  { print "check.sh: FAIL — bad trace line " NR ": " $0; exit 1 }
+  END {
+    if (trials < 1 || records < 1 || trials != ends) {
+      print "check.sh: FAIL — trace missing sections (trials=" trials \
+            " records=" records " trace_ends=" ends ")"
+      exit 1
+    }
+  }
+' "${TRACE}"
+
+echo "--- trace determinism: byte-identical at --threads 2 vs 4"
+cmp "${TRACE}" build/smoke_trace_t4/fig02_queue_shift.trace.jsonl
 
 echo "check.sh: OK"

@@ -78,6 +78,14 @@ void NimbusDetector::AddSample(TimePoint now, Rate rin, Rate rout, TimeDelta que
   if (++samples_since_eval_ >= config_.eval_every_samples) {
     samples_since_eval_ = 0;
     Evaluate();
+    if (ctr_evals_ != nullptr) {
+      ++*ctr_evals_;
+    }
+    if (tracer_ != nullptr && tracer_->enabled(obs::TraceCat::kNimbus)) {
+      tracer_->Trace(obs::TraceCat::kNimbus, obs::TraceEv::kNimbusEval, comp_,
+                     now, elastic_ ? 1 : 0, obs::EncodePpm(metric_),
+                     obs::EncodeRate(mu_));
+    }
   }
 }
 

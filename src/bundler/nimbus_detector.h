@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/util/rate.h"
 #include "src/util/ring_buffer.h"
 #include "src/util/time.h"
@@ -56,10 +57,21 @@ class NimbusDetector {
 
   void Reset();
 
+  // Observability seam: the owning Sendbox attaches the tracer (component
+  // kind "nimbus") and a registry-owned evaluation counter.
+  void BindObs(obs::Tracer* tracer, uint32_t comp, uint64_t* evals) {
+    tracer_ = tracer;
+    comp_ = comp;
+    ctr_evals_ = evals;
+  }
+
  private:
   void Evaluate();
 
   Config config_;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t comp_ = 0;
+  uint64_t* ctr_evals_ = nullptr;
   WindowedMaxFilter<double> mu_filter_;  // bytes/sec
   Rate mu_;
   Rate last_cross_;

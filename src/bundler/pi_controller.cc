@@ -14,6 +14,14 @@ void PiController::Reset(Rate initial_rate, int64_t queue_bytes, TimePoint now) 
   prev_queue_bytes_ = queue_bytes;
   prev_time_ = now;
   initialized_ = true;
+  if (ctr_resets_ != nullptr) {
+    ++*ctr_resets_;
+  }
+  if (tracer_ != nullptr && tracer_->enabled(obs::TraceCat::kPi)) {
+    tracer_->Trace(obs::TraceCat::kPi, obs::TraceEv::kPiReset, comp_, now,
+                   static_cast<uint64_t>(rate_bps_),
+                   static_cast<uint64_t>(queue_bytes));
+  }
 }
 
 int64_t PiController::TargetQueueBytes() const {
@@ -41,6 +49,14 @@ Rate PiController::Update(int64_t queue_bytes, TimePoint now) {
   rate_bps_ = std::clamp(rate_bps_, config_.min_rate.bps(), config_.max_rate.bps());
   prev_queue_bytes_ = queue_bytes;
   prev_time_ = now;
+  if (ctr_updates_ != nullptr) {
+    ++*ctr_updates_;
+  }
+  if (tracer_ != nullptr && tracer_->enabled(obs::TraceCat::kPi)) {
+    tracer_->Trace(obs::TraceCat::kPi, obs::TraceEv::kPiUpdate, comp_, now,
+                   static_cast<uint64_t>(rate_bps_),
+                   static_cast<uint64_t>(queue_bytes));
+  }
   return rate();
 }
 

@@ -7,6 +7,7 @@
 #ifndef SRC_BUNDLER_PI_CONTROLLER_H_
 #define SRC_BUNDLER_PI_CONTROLLER_H_
 
+#include "src/obs/trace.h"
 #include "src/util/rate.h"
 #include "src/util/time.h"
 
@@ -36,8 +37,22 @@ class PiController {
   Rate rate() const { return Rate::BitsPerSec(rate_bps_); }
   int64_t TargetQueueBytes() const;
 
+  // Observability seam: the owning Sendbox attaches the tracer (component
+  // kind "pi") and registry-owned update/reset counters.
+  void BindObs(obs::Tracer* tracer, uint32_t comp, uint64_t* updates,
+               uint64_t* resets) {
+    tracer_ = tracer;
+    comp_ = comp;
+    ctr_updates_ = updates;
+    ctr_resets_ = resets;
+  }
+
  private:
   Config config_;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t comp_ = 0;
+  uint64_t* ctr_updates_ = nullptr;
+  uint64_t* ctr_resets_ = nullptr;
   double rate_bps_;
   int64_t prev_queue_bytes_ = 0;
   TimePoint prev_time_;

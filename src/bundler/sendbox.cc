@@ -75,6 +75,33 @@ Sendbox::Sendbox(Simulator* sim, const Config& config, PacketHandler* egress)
   BUNDLER_CHECK(egress_ != nullptr);
   BUNDLER_CHECK(epoch_pkts_ != 0 && (epoch_pkts_ & (epoch_pkts_ - 1)) == 0);
   mode_log_.emplace_back(sim_->now(), mode_);
+  start_time_ = sim_->now();
+
+  // Observability wiring. One sendbox per (local, remote) site pair, so the
+  // pair names every component and counter.
+  const std::string name = "s" + std::to_string(config_.local_site) + "-s" +
+                           std::to_string(config_.remote_site);
+  obs::Tracer& tracer = sim_->trace();
+  obs::CounterRegistry& reg = sim_->counters();
+  comp_ = tracer.RegisterComponent("sendbox", name);
+  cc_comp_ = tracer.RegisterComponent("cc", name);
+  shaper_.queue()->BindObs(&tracer,
+                           tracer.RegisterComponent("qdisc", "sendbox." + name));
+  ctr_mode_transitions_ = reg.Counter("sendbox." + name + ".mode_transitions");
+  ctr_rate_updates_ = reg.Counter("sendbox." + name + ".rate_updates");
+  ctr_cc_updates_ = reg.Counter("cc." + name + ".rate_updates");
+  ctr_cc_resets_ = reg.Counter("cc." + name + ".resets");
+  passthrough_frac_ = reg.Gauge("sendbox." + name + ".passthrough_frac");
+  detector_.BindObs(&tracer, tracer.RegisterComponent("nimbus", name),
+                    reg.Counter("nimbus." + name + ".evals"));
+  pi_.BindObs(&tracer, tracer.RegisterComponent("pi", name),
+              reg.Counter("pi." + name + ".rate_updates"),
+              reg.Counter("pi." + name + ".resets"));
+  const Qdisc::Counters& qc = shaper_.queue()->counters();
+  reg.Expose("qdisc.sendbox." + name + ".enq_pkts", &qc.enq_pkts);
+  reg.Expose("qdisc.sendbox." + name + ".deq_pkts", &qc.deq_pkts);
+  reg.Expose("qdisc.sendbox." + name + ".drop_pkts", &qc.drop_pkts);
+  reg.Expose("qdisc.sendbox." + name + ".mark_pkts", &qc.mark_pkts);
   // Periodic slot: the engine re-arms it in place every control interval for
   // the sendbox's lifetime; the id stays valid until the destructor cancels.
   tick_timer_ = sim_->SchedulePeriodic(config_.control_interval, config_.control_interval,
@@ -118,6 +145,18 @@ void Sendbox::SwitchMode(BundlerMode next) {
     return;
   }
   TimePoint now = sim_->now();
+  const BundlerMode prev = mode_;
+  const TimeDelta dwell = now - mode_entered_;
+  if (prev == BundlerMode::kPassThrough) {
+    passthrough_accum_ += dwell;
+  }
+  ++*ctr_mode_transitions_;
+  if (sim_->trace().enabled(obs::TraceCat::kMode)) {
+    sim_->trace().Trace(obs::TraceCat::kMode, obs::TraceEv::kModeSwitch, comp_,
+                        now, static_cast<uint64_t>(next),
+                        static_cast<uint64_t>(prev),
+                        static_cast<uint64_t>(dwell.nanos()));
+  }
   mode_ = next;
   mode_entered_ = now;
   elastic_ticks_ = 0;
@@ -133,6 +172,11 @@ void Sendbox::SwitchMode(BundlerMode next) {
       cc_->Reset(now, config_.warm_restart && egress_rate_bps_ > 0
                           ? Rate::BitsPerSec(egress_rate_bps_)
                           : Rate::Zero());
+      ++*ctr_cc_resets_;
+      if (sim_->trace().enabled(obs::TraceCat::kCc)) {
+        sim_->trace().Trace(obs::TraceCat::kCc, obs::TraceEv::kCcReset,
+                            cc_comp_, now, obs::EncodeRate(cc_->TargetRate()));
+      }
       break;
     case BundlerMode::kPassThrough: {
       Rate start = std::max(detector_.mu_estimate(), shaper_.rate());
@@ -221,6 +265,11 @@ void Sendbox::MaybeUpdateEpochSize(const BundleMeasurement& m) {
   if (desired != epoch_pkts_ && now - last_epoch_update_ >= meas_.srtt()) {
     epoch_pkts_ = desired;
     last_epoch_update_ = now;
+    if (sim_->trace().enabled(obs::TraceCat::kSendbox)) {
+      sim_->trace().Trace(obs::TraceCat::kSendbox, obs::TraceEv::kSbEpoch,
+                          comp_, now, desired,
+                          static_cast<uint64_t>(meas_.srtt().nanos()));
+    }
     SendEpochCtl();
     return;
   }
@@ -277,6 +326,13 @@ void Sendbox::ControlTick() {
     case BundlerMode::kDelayControl:
       cc_->OnMeasurement(m);
       base = cc_->TargetRate();
+      ++*ctr_cc_updates_;
+      if (sim_->trace().enabled(obs::TraceCat::kCc)) {
+        sim_->trace().Trace(obs::TraceCat::kCc, obs::TraceEv::kCcUpdate,
+                            cc_comp_, now, obs::EncodeRate(base),
+                            static_cast<uint64_t>(m.inst_rtt.nanos()),
+                            static_cast<uint64_t>(m.acked_bytes));
+      }
       break;
     case BundlerMode::kPassThrough: {
       base = pi_.Update(queue_bytes(), now);
@@ -319,6 +375,21 @@ void Sendbox::ControlTick() {
                          ? static_cast<double>(queue_bytes()) * 8.0 / rate.bps() * 1e3
                          : 0.0;
   queue_delay_log_.Add(now, qdelay_ms);
+
+  ++*ctr_rate_updates_;
+  const TimeDelta run = now - start_time_;
+  const TimeDelta pt =
+      passthrough_accum_ + (mode_ == BundlerMode::kPassThrough
+                                ? now - mode_entered_
+                                : TimeDelta::Zero());
+  *passthrough_frac_ =
+      run > TimeDelta::Zero() ? pt.ToSeconds() / run.ToSeconds() : 0.0;
+  if (sim_->trace().enabled(obs::TraceCat::kSendbox)) {
+    sim_->trace().Trace(obs::TraceCat::kSendbox, obs::TraceEv::kSbRate, comp_,
+                        now, obs::EncodeRate(rate),
+                        static_cast<uint64_t>(mode_),
+                        static_cast<uint64_t>(qdelay_ms * 1e6));
+  }
 }
 
 }  // namespace bundler

@@ -170,6 +170,20 @@ class Sendbox : public PacketHandler {
   std::vector<std::pair<TimePoint, BundlerMode>> mode_log_;
   TimeSeries rate_log_;
   TimeSeries queue_delay_log_;
+
+  // Observability: component ids for the trace stream plus registry-owned
+  // counters (all registered in the constructor, so never null afterwards).
+  // The pass-through fraction gauge is recomputed every control tick from
+  // the cumulative dwell time spent in kPassThrough.
+  uint32_t comp_ = 0;
+  uint32_t cc_comp_ = 0;
+  uint64_t* ctr_mode_transitions_ = nullptr;
+  uint64_t* ctr_rate_updates_ = nullptr;
+  uint64_t* ctr_cc_updates_ = nullptr;
+  uint64_t* ctr_cc_resets_ = nullptr;
+  double* passthrough_frac_ = nullptr;
+  TimePoint start_time_;
+  TimeDelta passthrough_accum_ = TimeDelta::Zero();
 };
 
 }  // namespace bundler

@@ -3,9 +3,8 @@
 #ifndef SRC_METRICS_QUEUE_MONITOR_H_
 #define SRC_METRICS_QUEUE_MONITOR_H_
 
-#include <functional>
-
 #include "src/qdisc/qdisc.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/simulator.h"
 #include "src/util/rate.h"
 #include "src/util/timeseries.h"
@@ -15,9 +14,10 @@ namespace bundler {
 class QdiscSampler {
  public:
   // `rate_provider` converts occupancy to delay (bytes / current drain rate);
-  // it may change over time (the sendbox rate does).
+  // it may change over time (the sendbox rate does). Stored inline
+  // (InlineFunction): constructing a sampler never heap-allocates.
   QdiscSampler(Simulator* sim, const Qdisc* qdisc, TimeDelta interval,
-               std::function<Rate()> rate_provider);
+               InlineFunction<Rate> rate_provider);
   ~QdiscSampler();
   QdiscSampler(const QdiscSampler&) = delete;
   QdiscSampler& operator=(const QdiscSampler&) = delete;
@@ -31,7 +31,7 @@ class QdiscSampler {
   Simulator* sim_;
   const Qdisc* qdisc_;
   TimeDelta interval_;
-  std::function<Rate()> rate_provider_;
+  InlineFunction<Rate> rate_provider_;
   EventId timer_ = kInvalidEventId;
   TimeSeries bytes_;
   TimeSeries delay_ms_;

@@ -19,11 +19,46 @@ Link::Link(Simulator* sim, std::string name, Rate rate, TimeDelta prop_delay,
   // A zero initial rate is allowed: the link starts parked and waits for
   // set_rate (NetBuilder::AddLink is stricter for static topologies).
   parked_ = rate_.TransmitTime(kMtuBytes).IsInfinite();
+  // Register with the observability layer: the link and its egress qdisc are
+  // separate trace components; stats the link already keeps are exposed to
+  // the counter registry by reference, transition counters are registry-owned.
+  obs::Tracer& tracer = sim_->trace();
+  comp_ = tracer.RegisterComponent("link", name_);
+  queue_->BindObs(&tracer, tracer.RegisterComponent("qdisc", name_));
+  obs::CounterRegistry& reg = sim_->counters();
+  const std::string prefix = "link." + name_ + ".";
+  reg.Expose(prefix + "tx_pkts", &stats_.packets_sent);
+  reg.Expose(prefix + "drops", &stats_.drops);
+  ctr_rate_changes_ = reg.Counter(prefix + "rate_changes");
+  ctr_parks_ = reg.Counter(prefix + "parks");
+  ctr_unparks_ = reg.Counter(prefix + "unparks");
+  const std::string qprefix = "qdisc." + name_ + ".";
+  const Qdisc::Counters& qc = queue_->counters();
+  reg.Expose(qprefix + "enq_pkts", &qc.enq_pkts);
+  reg.Expose(qprefix + "deq_pkts", &qc.deq_pkts);
+  reg.Expose(qprefix + "drop_pkts", &qc.drop_pkts);
+  reg.Expose(qprefix + "mark_pkts", &qc.mark_pkts);
 }
 
 void Link::set_rate(Rate rate) {
+  const bool was_parked = parked_;
+  const Rate old_rate = rate_;
   rate_ = rate;
   parked_ = rate_.TransmitTime(kMtuBytes).IsInfinite();
+  ++*ctr_rate_changes_;
+  if (parked_ != was_parked) {
+    ++*(parked_ ? ctr_parks_ : ctr_unparks_);
+  }
+  if (tracer_enabled(obs::TraceCat::kLink)) {
+    obs::Tracer& tracer = sim_->trace();
+    tracer.Trace(obs::TraceCat::kLink, obs::TraceEv::kLinkRate, comp_,
+                 sim_->now(), obs::EncodeRate(rate_), obs::EncodeRate(old_rate));
+    if (parked_ != was_parked) {
+      tracer.Trace(obs::TraceCat::kLink,
+                   parked_ ? obs::TraceEv::kLinkPark : obs::TraceEv::kLinkUnpark,
+                   comp_, sim_->now(), static_cast<uint64_t>(queue_->bytes()));
+    }
+  }
   // A parked or idle link may now be able to move its queue. The in-flight
   // packet (if any) is untouched: busy_ holds until its already-scheduled
   // completion, so it finishes at the rate its transmission started with.
@@ -33,6 +68,11 @@ void Link::set_rate(Rate rate) {
 void Link::set_prop_delay(TimeDelta delay) {
   BUNDLER_CHECK_MSG(delay >= TimeDelta::Zero(), "link '%s': negative prop delay",
                     name_.c_str());
+  if (tracer_enabled(obs::TraceCat::kLink)) {
+    sim_->trace().Trace(obs::TraceCat::kLink, obs::TraceEv::kLinkDelay, comp_,
+                        sim_->now(), static_cast<uint64_t>(delay.nanos()),
+                        static_cast<uint64_t>(prop_delay_.nanos()));
+  }
   prop_delay_ = delay;
 }
 
@@ -40,6 +80,12 @@ void Link::HandlePacket(Packet pkt) {
   pkt.queue_enter = sim_->now();
   if (!queue_->Enqueue(std::move(pkt), sim_->now())) {
     ++stats_.drops;
+    if (tracer_enabled(obs::TraceCat::kLink)) {
+      sim_->trace().Trace(obs::TraceCat::kLink, obs::TraceEv::kLinkDrop, comp_,
+                          sim_->now(), stats_.drops,
+                          static_cast<uint64_t>(queue_->bytes()),
+                          static_cast<uint64_t>(queue_->packets()));
+    }
     // The packet was consumed by the qdisc; observers only need identity
     // information, which enqueue-time drops report via the qdisc's counters.
     // Re-create a minimal view is not possible here, so drop notification for
@@ -65,6 +111,11 @@ void Link::MaybeStartTransmission() {
   TimeDelta queue_delay = sim_->now() - pkt->queue_enter;
   for (LinkObserver* obs : observers_) {
     obs->OnDequeue(*pkt, queue_delay, sim_->now());
+  }
+  if (tracer_enabled(obs::TraceCat::kLink)) {
+    sim_->trace().Trace(obs::TraceCat::kLink, obs::TraceEv::kLinkTx, comp_,
+                        sim_->now(), pkt->flow_id, pkt->size_bytes,
+                        static_cast<uint64_t>(queue_delay.nanos()));
   }
   TimeDelta tx = rate_.TransmitTime(pkt->size_bytes);
   BUNDLER_CHECK(!tx.IsInfinite());

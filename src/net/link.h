@@ -73,6 +73,7 @@ class Link : public PacketHandler {
  private:
   void MaybeStartTransmission();
   void OnTransmitDone(Packet pkt);
+  bool tracer_enabled(obs::TraceCat cat) const { return sim_->trace().enabled(cat); }
 
   Simulator* sim_;
   std::string name_;
@@ -80,6 +81,12 @@ class Link : public PacketHandler {
   TimeDelta prop_delay_;
   std::unique_ptr<Qdisc> queue_;
   PacketHandler* dst_;
+  // Observability: trace component id plus registry-owned counters for the
+  // control-plane transitions LinkStats does not cover.
+  uint32_t comp_ = 0;
+  uint64_t* ctr_rate_changes_ = nullptr;
+  uint64_t* ctr_parks_ = nullptr;
+  uint64_t* ctr_unparks_ = nullptr;
   bool busy_ = false;
   // Cached "rate cannot serialize an MTU" verdict: recomputed only on
   // set_rate, so the per-packet transmission path stays integer-only.

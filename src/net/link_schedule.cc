@@ -27,6 +27,8 @@ LinkScheduleDriver::LinkScheduleDriver(Simulator* sim, Link* link,
       "link schedule for '%s': repeat period %s does not clear the last event (t=%s)",
       link_->name().c_str(), repeat_period_.ToString().c_str(),
       events_.back().at.ToString().c_str());
+  comp_ = sim_->trace().RegisterComponent("linksched", link_->name());
+  sim_->counters().Expose("linksched." + link_->name() + ".fired", &fired_);
   Arm();
 }
 
@@ -50,6 +52,11 @@ void LinkScheduleDriver::Fire() {
   }
   link_->set_rate(ev.rate);
   ++fired_;
+  if (sim_->trace().enabled(obs::TraceCat::kLinkSched)) {
+    sim_->trace().Trace(obs::TraceCat::kLinkSched, obs::TraceEv::kSchedFire,
+                        comp_, sim_->now(), next_, obs::EncodeRate(ev.rate),
+                        ev.set_delay ? static_cast<uint64_t>(ev.delay.nanos()) : 0);
+  }
   if (++next_ == events_.size()) {
     if (repeat_period_.IsZero()) {
       return;  // one-shot timeline exhausted

@@ -50,6 +50,7 @@ class LinkScheduleDriver {
 
   Simulator* sim_;
   Link* link_;
+  uint32_t comp_ = 0;
   const std::vector<LinkEventSpec> events_;
   const TimeDelta repeat_period_;
   size_t next_ = 0;

@@ -55,7 +55,7 @@ Codel::Codel(int64_t limit_bytes, const CodelParams& params)
   BUNDLER_CHECK(limit_bytes_ > 0);
 }
 
-bool Codel::Enqueue(Packet pkt, TimePoint now) {
+bool Codel::DoEnqueue(Packet pkt, TimePoint now) {
   (void)now;
   if (bytes_ + pkt.size_bytes > limit_bytes_) {
     CountDrop();
@@ -66,7 +66,7 @@ bool Codel::Enqueue(Packet pkt, TimePoint now) {
   return true;
 }
 
-std::optional<Packet> Codel::Dequeue(TimePoint now) {
+std::optional<Packet> Codel::DoDequeue(TimePoint now) {
   while (!queue_.empty()) {
     Packet pkt = queue_.pop_front();
     bytes_ -= pkt.size_bytes;

@@ -43,14 +43,15 @@ class Codel : public Qdisc {
  public:
   Codel(int64_t limit_bytes, const CodelParams& params);
 
-  bool Enqueue(Packet pkt, TimePoint now) override;
-  std::optional<Packet> Dequeue(TimePoint now) override;
   const Packet* Peek() const override;
   int64_t bytes() const override { return bytes_; }
   int64_t packets() const override { return static_cast<int64_t>(queue_.size()); }
   const char* name() const override { return "codel"; }
 
  private:
+  bool DoEnqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> DoDequeue(TimePoint now) override;
+
   int64_t limit_bytes_;
   CodelParams params_;
   CodelState state_;

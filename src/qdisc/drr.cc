@@ -29,7 +29,7 @@ void Drr::ReleaseSlot(size_t slot) {
   free_slots_.push_back(slot);
 }
 
-bool Drr::Enqueue(Packet pkt, TimePoint now) {
+bool Drr::DoEnqueue(Packet pkt, TimePoint now) {
   (void)now;
   uint64_t flow = FlowHash(pkt);
   auto it = flow_to_slot_.find(flow);
@@ -86,7 +86,7 @@ void Drr::DropFromLongest() {
   }
 }
 
-std::optional<Packet> Drr::Dequeue(TimePoint now) {
+std::optional<Packet> Drr::DoDequeue(TimePoint now) {
   (void)now;
   while (!rr_.empty()) {
     size_t slot = rr_.head;

@@ -24,8 +24,6 @@ class Drr : public Qdisc {
 
   explicit Drr(const Config& config);
 
-  bool Enqueue(Packet pkt, TimePoint now) override;
-  std::optional<Packet> Dequeue(TimePoint now) override;
   const Packet* Peek() const override;
   int64_t bytes() const override { return bytes_; }
   int64_t packets() const override { return packets_; }
@@ -34,6 +32,9 @@ class Drr : public Qdisc {
   size_t active_flows() const { return rr_.size(); }
 
  private:
+  bool DoEnqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> DoDequeue(TimePoint now) override;
+
   // Flow queues link into an intrusive round-robin ring
   // (src/util/index_ring.h), and the packet queue is a reusable ring buffer.
   // vector works for slots_ because both are nothrow-movable; slot addresses

@@ -10,7 +10,7 @@ DropTailFifo::DropTailFifo(int64_t limit_bytes) : limit_bytes_(limit_bytes) {
   BUNDLER_CHECK(limit_bytes_ > 0);
 }
 
-bool DropTailFifo::Enqueue(Packet pkt, TimePoint now) {
+bool DropTailFifo::DoEnqueue(Packet pkt, TimePoint now) {
   (void)now;
   if (bytes_ + pkt.size_bytes > limit_bytes_) {
     CountDrop();
@@ -21,7 +21,7 @@ bool DropTailFifo::Enqueue(Packet pkt, TimePoint now) {
   return true;
 }
 
-std::optional<Packet> DropTailFifo::Dequeue(TimePoint now) {
+std::optional<Packet> DropTailFifo::DoDequeue(TimePoint now) {
   (void)now;
   if (queue_.empty()) {
     return std::nullopt;

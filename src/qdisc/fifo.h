@@ -11,8 +11,6 @@ class DropTailFifo : public Qdisc {
  public:
   explicit DropTailFifo(int64_t limit_bytes);
 
-  bool Enqueue(Packet pkt, TimePoint now) override;
-  std::optional<Packet> Dequeue(TimePoint now) override;
   const Packet* Peek() const override;
   int64_t bytes() const override { return bytes_; }
   int64_t packets() const override { return static_cast<int64_t>(queue_.size()); }
@@ -21,6 +19,9 @@ class DropTailFifo : public Qdisc {
   int64_t limit_bytes() const { return limit_bytes_; }
 
  private:
+  bool DoEnqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> DoDequeue(TimePoint now) override;
+
   int64_t limit_bytes_;
   int64_t bytes_ = 0;
   RingBuffer<Packet> queue_;

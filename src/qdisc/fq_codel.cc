@@ -25,7 +25,7 @@ size_t FqCodel::BucketFor(const Packet& pkt) const {
   return Mix64(Fnv1a64Combine(fields, 6)) % config_.num_buckets;
 }
 
-bool FqCodel::Enqueue(Packet pkt, TimePoint now) {
+bool FqCodel::DoEnqueue(Packet pkt, TimePoint now) {
   (void)now;
   size_t idx = BucketFor(pkt);
   Bucket& b = buckets_[idx];
@@ -116,7 +116,7 @@ std::optional<Packet> FqCodel::DequeueFromList(IndexRing& list, bool is_new_list
   return std::nullopt;
 }
 
-std::optional<Packet> FqCodel::Dequeue(TimePoint now) {
+std::optional<Packet> FqCodel::DoDequeue(TimePoint now) {
   std::optional<Packet> pkt = DequeueFromList(new_flows_, /*is_new_list=*/true, now);
   if (pkt.has_value()) {
     return pkt;

@@ -26,14 +26,15 @@ class FqCodel : public Qdisc {
 
   explicit FqCodel(const Config& config);
 
-  bool Enqueue(Packet pkt, TimePoint now) override;
-  std::optional<Packet> Dequeue(TimePoint now) override;
   const Packet* Peek() const override;
   int64_t bytes() const override { return bytes_; }
   int64_t packets() const override { return packets_; }
   const char* name() const override { return "fq_codel"; }
 
  private:
+  bool DoEnqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> DoDequeue(TimePoint now) override;
+
   // Buckets link into the new/old intrusive rings (src/util/index_ring.h):
   // RFC 8290's two service lists without a list-node allocation per flow
   // activation, and a reusable packet ring instead of a breathing deque.

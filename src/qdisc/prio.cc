@@ -14,7 +14,7 @@ StrictPrio::StrictPrio(size_t num_bands, int64_t limit_bytes_per_band, Classifie
   BUNDLER_CHECK(limit_bytes_per_band_ > 0);
 }
 
-bool StrictPrio::Enqueue(Packet pkt, TimePoint now) {
+bool StrictPrio::DoEnqueue(Packet pkt, TimePoint now) {
   (void)now;
   size_t band = classifier_ ? classifier_(pkt) : pkt.priority;
   if (band >= bands_.size()) {
@@ -32,7 +32,7 @@ bool StrictPrio::Enqueue(Packet pkt, TimePoint now) {
   return true;
 }
 
-std::optional<Packet> StrictPrio::Dequeue(TimePoint now) {
+std::optional<Packet> StrictPrio::DoDequeue(TimePoint now) {
   (void)now;
   for (Band& b : bands_) {
     if (!b.queue.empty()) {

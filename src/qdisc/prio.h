@@ -19,8 +19,6 @@ class StrictPrio : public Qdisc {
   // packet's `priority` field is used (clamped to the last band).
   StrictPrio(size_t num_bands, int64_t limit_bytes_per_band, Classifier classifier = nullptr);
 
-  bool Enqueue(Packet pkt, TimePoint now) override;
-  std::optional<Packet> Dequeue(TimePoint now) override;
   const Packet* Peek() const override;
   int64_t bytes() const override { return bytes_; }
   int64_t packets() const override { return packets_; }
@@ -29,6 +27,9 @@ class StrictPrio : public Qdisc {
   int64_t band_bytes(size_t band) const { return bands_[band].bytes; }
 
  private:
+  bool DoEnqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> DoDequeue(TimePoint now) override;
+
   struct Band {
     RingBuffer<Packet> queue;  // reusable ring: band churn allocates nothing
     int64_t bytes = 0;

@@ -23,7 +23,7 @@ size_t Sfq::BucketFor(const Packet& pkt) const {
   return Mix64(Fnv1a64Combine(fields, 6)) % config_.num_buckets;
 }
 
-bool Sfq::Enqueue(Packet pkt, TimePoint now) {
+bool Sfq::DoEnqueue(Packet pkt, TimePoint now) {
   (void)now;
   size_t idx = BucketFor(pkt);
   Bucket& b = buckets_[idx];
@@ -67,7 +67,7 @@ void Sfq::DropFromLongest() {
   }
 }
 
-std::optional<Packet> Sfq::Dequeue(TimePoint now) {
+std::optional<Packet> Sfq::DoDequeue(TimePoint now) {
   (void)now;
   while (!rr_.empty()) {
     size_t idx = rr_.head;

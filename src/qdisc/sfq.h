@@ -26,8 +26,6 @@ class Sfq : public Qdisc {
 
   explicit Sfq(const Config& config);
 
-  bool Enqueue(Packet pkt, TimePoint now) override;
-  std::optional<Packet> Dequeue(TimePoint now) override;
   const Packet* Peek() const override;
   int64_t bytes() const override { return bytes_; }
   int64_t packets() const override { return packets_; }
@@ -37,6 +35,9 @@ class Sfq : public Qdisc {
   size_t active_buckets() const { return rr_.size(); }
 
  private:
+  bool DoEnqueue(Packet pkt, TimePoint now) override;
+  std::optional<Packet> DoDequeue(TimePoint now) override;
+
   // Buckets link into an intrusive round-robin ring (src/util/index_ring.h):
   // list-of-indices discipline without a node allocation per activation —
   // the sendbox's default scheduler sits on the datapath.

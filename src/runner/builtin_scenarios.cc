@@ -62,6 +62,7 @@ void AddFctMillis(TrialResult* result, const QuantileEstimator& fct_seconds,
 void RegisterBuiltinScenarios() {
   static const bool registered = []() {
     ScenarioRegistry* registry = &ScenarioRegistry::Global();
+    RegisterFig02QueueShift(registry);
     RegisterFig09Fct(registry);
     RegisterFig10CrossTraffic(registry);
     RegisterFig11WebCrossSweep(registry);

@@ -46,6 +46,7 @@ void AddFctMillis(TrialResult* result, const QuantileEstimator& fct_seconds,
 
 // Individual registrations (each CHECK-fails on double registration; prefer
 // RegisterBuiltinScenarios).
+void RegisterFig02QueueShift(ScenarioRegistry* registry);
 void RegisterFig09Fct(ScenarioRegistry* registry);
 void RegisterFig10CrossTraffic(ScenarioRegistry* registry);
 void RegisterFig11WebCrossSweep(ScenarioRegistry* registry);

@@ -8,13 +8,16 @@
 // worker pool, prints a per-cell summary table, and writes DIR/<name>.json
 // and DIR/<name>.csv. For a fixed seed base the emitted files are
 // byte-identical regardless of --threads.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/runner/builtin_scenarios.h"
 #include "src/runner/result_sink.h"
+#include "src/runner/trial_obs.h"
 #include "src/runner/trial_runner.h"
 #include "src/util/table.h"
 
@@ -29,9 +32,19 @@ void PrintUsage(std::FILE* out) {
                "       bundler_run --dump-topology NAME\n"
                "       bundler_run --scenario NAME [--trials N] [--threads N]\n"
                "                   [--seed-base N] [--out DIR] [--quiet]\n"
+               "                   [--trace CATS] [--trace-out FILE]\n"
+               "                   [--trace-format jsonl|text] [--trace-ring N]\n"
                "\n"
                "--dump-topology builds NAME's topology graph (validating it) and\n"
-               "prints Graphviz DOT on stdout.\n");
+               "prints Graphviz DOT on stdout.\n"
+               "\n"
+               "--trace arms the per-trial flight recorder for the comma-separated\n"
+               "categories (sim,link,linksched,qdisc,tcp,sendbox,mode,nimbus,pi,cc\n"
+               "or 'all'). Every trial's trace is captured and written, sorted by\n"
+               "trial signature, to --trace-out (default DIR/NAME.trace.jsonl or\n"
+               ".trace.txt); --trace-ring sets the per-trial ring capacity in\n"
+               "records (default 262144, 40 bytes each, oldest evicted first).\n"
+               "See README \"Observability\" for the record schema.\n");
 }
 
 void PrintList() {
@@ -89,6 +102,10 @@ int Main(int argc, char** argv) {
   int threads = 1;
   uint64_t seed_base = 0;
   bool seed_base_set = false;
+  std::string trace_spec;
+  std::string trace_out;
+  std::string trace_format = "jsonl";
+  size_t trace_ring = 262144;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -117,6 +134,14 @@ int Main(int argc, char** argv) {
       seed_base_set = true;
     } else if (arg == "--out") {
       out_dir = next_value("--out");
+    } else if (arg == "--trace") {
+      trace_spec = next_value("--trace");
+    } else if (arg == "--trace-out") {
+      trace_out = next_value("--trace-out");
+    } else if (arg == "--trace-format") {
+      trace_format = next_value("--trace-format");
+    } else if (arg == "--trace-ring") {
+      trace_ring = std::strtoull(next_value("--trace-ring"), nullptr, 10);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -178,6 +203,30 @@ int Main(int argc, char** argv) {
   options.progress = !quiet;
   TrialRunner runner(options);
 
+  bool tracing = !trace_spec.empty();
+  TraceFormat format = TraceFormat::kJsonl;
+  if (tracing) {
+    if (trace_format == "text") {
+      format = TraceFormat::kText;
+    } else if (trace_format != "jsonl") {
+      std::fprintf(stderr, "--trace-format must be jsonl or text, got '%s'\n",
+                   trace_format.c_str());
+      return 2;
+    }
+    uint32_t mask = 0;
+    if (!obs::ParseTraceCats(trace_spec, &mask)) {
+      std::fprintf(stderr,
+                   "--trace: unknown category in '%s' (see --help for the list)\n",
+                   trace_spec.c_str());
+      return 2;
+    }
+    if (trace_ring == 0) {
+      std::fprintf(stderr, "--trace-ring must be > 0\n");
+      return 2;
+    }
+    ArmTrace(mask, trace_ring, format);
+  }
+
   std::vector<TrialPoint> plan = ExpandTrials(spec, trials);
   if (!quiet) {
     std::fprintf(stderr, "%s: %zu trials (%zu variants), %d thread(s)\n",
@@ -186,8 +235,26 @@ int Main(int argc, char** argv) {
   }
   Scenario to_run = *scenario;
   to_run.spec = spec;
+  auto wall_start = std::chrono::steady_clock::now();
   std::vector<TrialResult> results = runner.Run(to_run, plan);
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
   ScenarioSummary summary = Aggregate(spec, plan, results);
+
+  // Wall-clock throughput metadata (satellite of the observability work):
+  // total simulator events dispatched across the plan over the pool's wall
+  // time. Serialized as a separate single line; see ScenarioSummary.
+  double total_events = 0;
+  for (const TrialResult& r : results) {
+    auto it = r.scalars.find("sim.events_dispatched");
+    if (it != r.scalars.end()) {
+      total_events += it->second;
+    }
+  }
+  summary.wall_seconds = wall_s;
+  summary.events_dispatched = static_cast<uint64_t>(total_events);
+  summary.events_per_sec = wall_s > 0 ? total_events / wall_s : 0;
 
   PrintSummary(summary);
 
@@ -198,6 +265,23 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+
+  if (tracing) {
+    std::string path = trace_out;
+    if (path.empty()) {
+      path = out_dir + "/" + spec.name +
+             (format == TraceFormat::kJsonl ? ".trace.jsonl" : ".trace.txt");
+    }
+    std::string blob;
+    for (auto& [sig, serialized] : TakeCapturedTraces()) {
+      (void)sig;
+      blob += serialized;
+    }
+    if (!WriteFile(path, blob)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }
 

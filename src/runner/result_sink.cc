@@ -183,6 +183,11 @@ std::string ToJson(const ScenarioSummary& summary) {
   out += "  \"scenario\": " + JsonString(summary.scenario) + ",\n";
   out += "  \"trials\": " + std::to_string(summary.trials) + ",\n";
   out += "  \"seed_base\": " + std::to_string(summary.seed_base) + ",\n";
+  if (summary.events_per_sec > 0) {
+    out += "  \"runtime\": {\"wall_seconds\": " + JsonNumber(summary.wall_seconds) +
+           ", \"events_dispatched\": " + std::to_string(summary.events_dispatched) +
+           ", \"events_per_sec\": " + JsonNumber(summary.events_per_sec) + "},\n";
+  }
   out += "  \"cells\": [";
   for (size_t c = 0; c < summary.cells.size(); ++c) {
     const CellSummary& cell = summary.cells[c];
@@ -254,6 +259,11 @@ std::string ToCsv(const ScenarioSummary& summary) {
              CsvNumber(s.p25) + "," + CsvNumber(s.median) + "," + CsvNumber(s.p75) + "," +
              CsvNumber(s.p95) + "," + CsvNumber(s.p99) + ",\n";
     }
+  }
+  if (summary.events_per_sec > 0) {
+    out += "# runtime wall_seconds=" + CsvNumber(summary.wall_seconds) +
+           " events_dispatched=" + std::to_string(summary.events_dispatched) +
+           " events_per_sec=" + CsvNumber(summary.events_per_sec) + "\n";
   }
   return out;
 }

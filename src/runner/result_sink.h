@@ -57,6 +57,15 @@ struct ScenarioSummary {
   int trials = 0;
   uint64_t seed_base = 1;
   std::vector<CellSummary> cells;  // plan order
+
+  // Optional wall-clock runtime metadata, filled by the CLI after the run.
+  // Non-deterministic by nature, so it is serialized as a single separate
+  // line (JSON "runtime" member / CSV trailing comment) only when
+  // events_per_sec > 0 — tools comparing outputs across thread counts strip
+  // that one line and the rest stays a pure function of the results.
+  double wall_seconds = 0;
+  uint64_t events_dispatched = 0;
+  double events_per_sec = 0;
 };
 
 // Groups `results` (ordered like `plan`) into cells and reduces them.

@@ -18,6 +18,7 @@
 #include "src/app/workload.h"
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/transport/tcp_flow.h"
 #include "src/util/check.h"
 
@@ -106,6 +107,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   Rate reverse_rate = Rate::Mbps(point.Param("reverse_mbps"));
 
   Simulator sim;
+  BeginTrialObs(&sim);
   AsymGraph g;
   std::unique_ptr<Net> net = AsymReverseBuilder(reverse_rate, bundler_on, &g).Build(&sim);
 
@@ -145,6 +147,7 @@ TrialResult RunTrial(const TrialPoint& point) {
         static_cast<double>(net->sendbox(0)->measurement().feedback_matched()) /
         kDuration.ToSeconds();
   }
+  EndTrialObs(&sim, point, &r);
   return r;
 }
 

@@ -5,6 +5,7 @@
 // pooled across seeds by the aggregator, mirroring how the paper pools runs.
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/runner/ideal_fct.h"
 #include "src/topo/scenario.h"
 #include "src/util/check.h"
@@ -42,6 +43,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   cfg.net.in_network_fq = var.in_network_fq;
   cfg.net.sendbox.scheduler = var.sched;
   Experiment e(cfg);
+  BeginTrialObs(e.sim());
   e.Run();
 
   IdealFctFn ideal_fn = SharedIdealFctFn(cfg.net.bottleneck_rate, cfg.net.rtt, cfg.host_cc);
@@ -64,6 +66,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   r.scalars["median_slowdown_all"] = all.empty() ? 0.0 : all.Median();
   r.scalars["p99_slowdown_all"] = all.empty() ? 0.0 : all.Quantile(0.99);
   r.scalars["requests_completed"] = static_cast<double>(e.fct()->completed());
+  EndTrialObs(e.sim(), point, &r);
   return r;
 }
 

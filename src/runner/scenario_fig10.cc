@@ -12,6 +12,7 @@
 #include "src/app/workload.h"
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/topo/dumbbell.h"
 #include "src/util/check.h"
 
@@ -60,6 +61,7 @@ TrialResult RunTrial(const TrialPoint& point) {
                     "unknown fig10 variant '%s'", point.variant.c_str());
 
   Simulator sim;
+  BeginTrialObs(&sim);
   DumbbellConfig cfg;
   cfg.bottleneck_rate = Rate::Mbps(96);
   cfg.rtt = TimeDelta::Millis(50);
@@ -125,6 +127,7 @@ TrialResult RunTrial(const TrialPoint& point) {
     r.scalars["mode_transitions"] =
         static_cast<double>(net.sendbox()->mode_log().size());
   }
+  EndTrialObs(&sim, point, &r);
   return r;
 }
 

@@ -7,6 +7,7 @@
 // (BasicDelay) rate control, at no long-term throughput cost.
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/runner/ideal_fct.h"
 #include "src/topo/scenario.h"
 #include "src/util/check.h"
@@ -41,6 +42,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   cfg.cross_web_load = Rate::Mbps(point.Param("cross_mbps"));
   cfg.net.sendbox.cc = var.cc;
   Experiment e(cfg);
+  BeginTrialObs(e.sim());
   e.Run();
 
   IdealFctFn ideal_fn = SharedIdealFctFn(cfg.net.bottleneck_rate, cfg.net.rtt, cfg.host_cc);
@@ -55,6 +57,7 @@ TrialResult RunTrial(const TrialPoint& point) {
           ->AverageRate(TimePoint::Zero() + cfg.warmup, TimePoint::Zero() + cfg.duration)
           .Mbps();
   r.scalars["requests_completed"] = static_cast<double>(e.fct()->completed());
+  EndTrialObs(e.sim(), point, &r);
   return r;
 }
 

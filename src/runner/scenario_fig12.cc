@@ -7,6 +7,7 @@
 // up to 22% lower with 50 — because the sendbox holds back a small probing
 // queue even in pass-through mode (§5.1).
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/topo/scenario.h"
 #include "src/util/check.h"
 
@@ -26,6 +27,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   cfg.duration = TimeDelta::Seconds(60);
   cfg.warmup = TimeDelta::Seconds(15);
   Experiment e(cfg);
+  BeginTrialObs(e.sim());
   e.Run();
 
   TrialResult r;
@@ -34,6 +36,7 @@ TrialResult RunTrial(const TrialPoint& point) {
           ->bundle_rate_meter()
           ->AverageRate(TimePoint::Zero() + cfg.warmup, TimePoint::Zero() + cfg.duration)
           .Mbps();
+  EndTrialObs(e.sim(), point, &r);
   return r;
 }
 

@@ -8,6 +8,7 @@
 
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/runner/ideal_fct.h"
 #include "src/topo/scenario.h"
 #include "src/util/check.h"
@@ -28,6 +29,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   cfg.bundle_web_load = {Rate::Mbps(load0), Rate::Mbps(load1)};
   cfg.bundle_bulk_flows = 1;
   Experiment e(cfg);
+  BeginTrialObs(e.sim());
   e.Run();
 
   IdealFctFn ideal_fn = SharedIdealFctFn(cfg.net.bottleneck_rate, cfg.net.rtt, cfg.host_cc);
@@ -51,6 +53,7 @@ TrialResult RunTrial(const TrialPoint& point) {
     // should be judged on.
     r.samples["tput_mbps_pooled" + suffix] = {tput};
   }
+  EndTrialObs(e.sim(), point, &r);
   return r;
 }
 

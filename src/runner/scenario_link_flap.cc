@@ -14,6 +14,7 @@
 #include "src/app/workload.h"
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/util/check.h"
 
 namespace bundler {
@@ -57,6 +58,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   TimeDelta down = TimeDelta::MillisF(point.Param("down_ms"));
 
   Simulator sim;
+  BeginTrialObs(&sim);
   DumbbellGraph g;
   std::unique_ptr<Net> net = FlapBuilder(bundler_on, down, &g).Build(&sim);
 
@@ -96,6 +98,7 @@ TrialResult RunTrial(const TrialPoint& point) {
     r.scalars["mode_transitions"] =
         static_cast<double>(net->sendbox(0)->mode_log().size());
   }
+  EndTrialObs(&sim, point, &r);
   return r;
 }
 

@@ -19,6 +19,7 @@
 #include "src/app/workload.h"
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/util/check.h"
 
 namespace bundler {
@@ -131,6 +132,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   Rate hop2_rate = Rate::Mbps(point.Param("hop2_mbps"));
 
   Simulator sim;
+  BeginTrialObs(&sim);
   ParkingLotGraph g;
   std::unique_ptr<Net> net = ParkingLotBuilder(hop2_rate, bundler_on, &g).Build(&sim);
 
@@ -172,6 +174,7 @@ TrialResult RunTrial(const TrialPoint& point) {
           ->AverageRate(measured, TimePoint::Zero() + kDuration)
           .Mbps();
   r.scalars["requests_completed"] = static_cast<double>(fct.completed());
+  EndTrialObs(&sim, point, &r);
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include "src/app/workload.h"
 #include "src/metrics/fct.h"
 #include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
 #include "src/util/check.h"
 
 namespace bundler {
@@ -47,6 +48,7 @@ TrialResult RunTrial(const TrialPoint& point) {
   Rate step_rate = Rate::Mbps(point.Param("step_mbps"));
 
   Simulator sim;
+  BeginTrialObs(&sim);
   DumbbellGraph g;
   std::unique_ptr<Net> net = StepBuilder(bundler_on, step_rate, &g).Build(&sim);
 
@@ -84,6 +86,7 @@ TrialResult RunTrial(const TrialPoint& point) {
     r.scalars["mode_transitions"] =
         static_cast<double>(net->sendbox(0)->mode_log().size());
   }
+  EndTrialObs(&sim, point, &r);
   return r;
 }
 

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <bit>
 #include <utility>
 
 #include "src/util/check.h"
@@ -92,6 +93,9 @@ void EventQueue::SiftDown(uint32_t pos, HeapEntry e) {
 
 void EventQueue::HeapPush(HeapEntry e) {
   heap_.emplace_back();  // placeholder; SiftUp writes the final position
+  if (heap_.size() > profile_.max_heap) {
+    profile_.max_heap = heap_.size();
+  }
   SiftUp(static_cast<uint32_t>(heap_.size() - 1), e);
 }
 
@@ -140,6 +144,7 @@ EventId EventQueue::Push(TimePoint time, Callback cb) {
   slot.period = TimeDelta::Zero();
   slot.cb = std::move(cb);
   HeapPush(HeapEntry{time, NextKey(idx)});
+  ++profile_.pushes;
   return IdFor(idx);
 }
 
@@ -151,6 +156,7 @@ EventId EventQueue::PushPeriodic(TimePoint first, TimeDelta period, Callback cb)
   slot.period = period;
   slot.cb = std::move(cb);
   HeapPush(HeapEntry{first, NextKey(idx)});
+  ++profile_.periodic_pushes;
   return IdFor(idx);
 }
 
@@ -164,6 +170,7 @@ bool EventQueue::Cancel(EventId id) {
     case SlotState::kQueued:
       HeapRemoveAt(heap_pos_[idx]);
       FreeSlot(idx);
+      ++profile_.cancels;
       return true;
     case SlotState::kDispatching:
       // Cancelled from inside its own callback: the re-armed heap entry goes
@@ -171,6 +178,7 @@ bool EventQueue::Cancel(EventId id) {
       // callback object itself is live on the dispatch stack).
       HeapRemoveAt(heap_pos_[idx]);
       slot.state = SlotState::kDispatchCancelled;
+      ++profile_.cancels;
       return true;
     case SlotState::kDispatchCancelled:
       return false;  // already cancelled during this dispatch
@@ -198,6 +206,7 @@ bool EventQueue::Reschedule(EventId id, TimePoint t) {
   } else {
     SiftDown(pos, e);
   }
+  ++profile_.reschedules;
   return true;
 }
 
@@ -220,10 +229,13 @@ EventQueue::Callback EventQueue::PopNext(TimePoint* time_out) {
 
 void EventQueue::DispatchHead() {
   BUNDLER_CHECK(!heap_.empty());
+  // Log2 dispatch histogram: bucket by the heap size this pop saw.
+  ++profile_.dispatch_size_log2[std::bit_width(heap_.size())];
   HeapEntry head = heap_[0];
   HeapRemoveAt(0);
   const uint32_t idx = head.slot();
   if (slots_[idx].period.IsZero()) {
+    ++profile_.dispatches_oneshot;
     // One-shot: the slot is freed before the callback runs, so the callback
     // may recycle it by scheduling new events (ids never collide thanks to
     // the generation counter).
@@ -235,6 +247,7 @@ void EventQueue::DispatchHead() {
   // Periodic: re-arm *before* invoking so events the callback schedules for
   // exactly the next firing instant order after the timer itself — the same
   // FIFO order as the classic "re-schedule yourself first" idiom.
+  ++profile_.dispatches_periodic;
   slots_[idx].state = SlotState::kDispatching;
   HeapPush(HeapEntry{head.time + slots_[idx].period, NextKey(idx)});
   // The callback runs from the dispatch stack, not from slot storage: nested

@@ -41,6 +41,23 @@ class EventQueue {
  public:
   using Callback = InlineCallback;
 
+  // Profiling counters for the parallel-DES work: operation mix, peak heap
+  // depth, and a log2 histogram of heap size at dispatch time (bucket i
+  // counts dispatches that popped from a heap of size in [2^(i-1), 2^i)).
+  // Maintained unconditionally — each hook is one or two increments on
+  // operations that already cost a sift.
+  struct Profile {
+    uint64_t pushes = 0;            // one-shot Push calls
+    uint64_t periodic_pushes = 0;   // PushPeriodic calls (not re-arms)
+    uint64_t cancels = 0;           // successful Cancels
+    uint64_t reschedules = 0;       // successful Reschedules
+    uint64_t dispatches_oneshot = 0;
+    uint64_t dispatches_periodic = 0;
+    uint64_t max_heap = 0;          // peak concurrent pending events
+    uint64_t dispatch_size_log2[32] = {};
+  };
+  const Profile& profile() const { return profile_; }
+
   // Returns an id usable with Cancel/Reschedule until the event fires.
   EventId Push(TimePoint time, Callback cb);
 
@@ -55,6 +72,7 @@ class EventQueue {
     slot.period = TimeDelta::Zero();
     slot.cb.Emplace(std::forward<F>(f));
     HeapPush(HeapEntry{time, NextKey(idx)});
+    ++profile_.pushes;
     return IdFor(idx);
   }
 
@@ -152,6 +170,7 @@ class EventQueue {
     heap_pos_[e.slot()] = pos;
   }
 
+  Profile profile_;
   std::vector<HeapEntry> heap_;  // 4-ary, ordered by (time, seq)
   std::vector<Slot> slots_;
   std::vector<uint32_t> heap_pos_;  // slot -> heap index, kNpos when absent

@@ -1,0 +1,107 @@
+// Move-only type-erased R() callable with fixed inline storage and no heap
+// allocation — InlineCallback generalized over the return type. Used where a
+// long-lived component stores a small provider callback (e.g. QdiscSampler's
+// rate provider): std::function would heap-allocate any multi-pointer
+// capture, while this stores it inline and rejects oversized captures at
+// compile time. The capacity is deliberately small (a handful of pointers);
+// to bind more state, park it in the owning object and capture a pointer.
+#ifndef SRC_SIM_INLINE_FUNCTION_H_
+#define SRC_SIM_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bundler {
+
+template <typename R>
+class InlineFunction {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  InlineFunction() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit): lambda -> function
+    Emplace(std::forward<F>(f));
+  }
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "capture exceeds InlineFunction::kCapacity; indirect "
+                  "through the owning object rather than growing the slot");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s) -> R { return (*static_cast<Fn*>(s))(); };
+    if constexpr (std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      manage_ = nullptr;
+    } else {
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            static_cast<Fn*>(self)->~Fn();
+            break;
+          case Op::kMoveFrom:
+            ::new (self) Fn(std::move(*static_cast<Fn*>(other)));
+            static_cast<Fn*>(other)->~Fn();
+            break;
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept { MoveFrom(o); }
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()() { return invoke_(storage_); }
+
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kMoveFrom };
+  using InvokeFn = R (*)(void*);
+  using ManageFn = void (*)(Op, void*, void*);
+
+  void MoveFrom(InlineFunction& o) {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kMoveFrom, storage_, o.storage_);
+    } else if (invoke_ != nullptr) {
+      std::memcpy(storage_, o.storage_, kCapacity);
+    }
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_SIM_INLINE_FUNCTION_H_

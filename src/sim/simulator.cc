@@ -21,6 +21,9 @@ bool Simulator::Reschedule(EventId id, TimePoint t) {
 
 void Simulator::RunUntil(TimePoint until) {
   stopped_ = false;
+  const uint64_t start_dispatched = events_dispatched_;
+  trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunStart, sim_comp_,
+               now_, static_cast<uint64_t>(until.nanos()));
   while (!stopped_ && !queue_.Empty()) {
     TimePoint next = queue_.NextTime();
     if (next > until) {
@@ -33,15 +36,22 @@ void Simulator::RunUntil(TimePoint until) {
   if (now_ < until) {
     now_ = until;
   }
+  trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunEnd, sim_comp_, now_,
+               events_dispatched_ - start_dispatched, events_dispatched_);
 }
 
 void Simulator::RunAll() {
   stopped_ = false;
+  const uint64_t start_dispatched = events_dispatched_;
+  trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunStart, sim_comp_,
+               now_);
   while (!stopped_ && !queue_.Empty()) {
     now_ = queue_.NextTime();
     ++events_dispatched_;
     queue_.DispatchHead();
   }
+  trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunEnd, sim_comp_, now_,
+               events_dispatched_ - start_dispatched, events_dispatched_);
 }
 
 }  // namespace bundler

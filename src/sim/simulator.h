@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "src/obs/counters.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/util/check.h"
 #include "src/util/time.h"
@@ -22,7 +24,8 @@ namespace bundler {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // The simulator itself is trace component 0 (kind "sim").
+  Simulator() { sim_comp_ = trace_.RegisterComponent("sim", "sim"); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -64,11 +67,26 @@ class Simulator {
 
   uint64_t events_dispatched() const { return events_dispatched_; }
 
+  // Observability: the per-simulator flight recorder and counter registry.
+  // Components reach them through their Simulator* and register at
+  // construction time; see src/obs/.
+  obs::Tracer& trace() { return trace_; }
+  const obs::Tracer& trace() const { return trace_; }
+  obs::CounterRegistry& counters() { return counters_; }
+  const obs::CounterRegistry& counters() const { return counters_; }
+  uint32_t sim_comp() const { return sim_comp_; }
+
+  // Event-queue profiling (heap depth, dispatch histogram, operation mix).
+  const EventQueue::Profile& queue_profile() const { return queue_.profile(); }
+
  private:
   TimePoint now_;
   EventQueue queue_;
   bool stopped_ = false;
   uint64_t events_dispatched_ = 0;
+  obs::Tracer trace_;
+  obs::CounterRegistry counters_;
+  uint32_t sim_comp_ = 0;
 };
 
 }  // namespace bundler

@@ -56,8 +56,9 @@ NetBuilder DumbbellBuilder(const DumbbellConfig& config, DumbbellGraph* graph) {
   edge_spec.rate = config.edge_rate;
   edge_spec.buffer_bytes = 16 * 1024 * 1024;
   for (int i = 0; i < config.num_bundles; ++i) {
-    b.AddLink(g.servers[static_cast<size_t>(i)], bottleneck_router, edge_spec,
-              "edge" + std::to_string(i));
+    g.edge_links.push_back(b.AddLink(g.servers[static_cast<size_t>(i)],
+                                     bottleneck_router, edge_spec,
+                                     "edge" + std::to_string(i)));
   }
   b.AddLink(g.cross_server, bottleneck_router, edge_spec, "cross_edge");
 
@@ -167,5 +168,9 @@ MultipathLink* Dumbbell::multipath() {
 size_t Dumbbell::num_paths() const { return static_cast<size_t>(config_.num_paths); }
 
 Link* Dumbbell::path_link(size_t i) { return net_->path_link(graph_.bottleneck, i); }
+
+Link* Dumbbell::edge_link(int bundle) {
+  return net_->link(graph_.edge_links[static_cast<size_t>(bundle)]);
+}
 
 }  // namespace bundler

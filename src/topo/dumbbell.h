@@ -56,6 +56,7 @@ struct DumbbellGraph {
   NetBuilder::NodeId cross_server = -1;
   NetBuilder::NodeId cross_client = -1;
   NetBuilder::EdgeId bottleneck = -1;
+  std::vector<NetBuilder::EdgeId> edge_links;  // per-bundle server -> bottleneck router
   NetBuilder::NodeId reverse_agg = -1;  // entry router of the shared reverse path
   NetBuilder::MonitorId bottleneck_delay = -1;
   std::vector<NetBuilder::MonitorId> bundle_meters;
@@ -87,6 +88,9 @@ class Dumbbell {
   MultipathLink* multipath();
   size_t num_paths() const;
   Link* path_link(size_t i);
+
+  // Bundle `i`'s access link (server_i -> bottleneck router, `edge_rate`).
+  Link* edge_link(int bundle = 0);
 
   FlowTable* flows() { return net_->flows(); }
   Simulator* sim() { return sim_; }

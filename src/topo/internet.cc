@@ -92,10 +92,15 @@ NetBuilder WanPathBuilder(const WanPathSpec& spec, bool bundled, WanGraph* graph
 
 WanRunResult RunWanPath(const WanPathSpec& spec, WanMode mode, TimeDelta duration,
                         TimeDelta warmup, uint64_t seed, int pingpong_pairs,
-                        int bulk_flows) {
+                        int bulk_flows,
+                        const std::function<void(Simulator*)>& obs_begin,
+                        const std::function<void(Simulator*)>& obs_end) {
   Simulator sim;
   WanGraph g;
   std::unique_ptr<Net> net = WanPathBuilder(spec, mode == WanMode::kBundler, &g).Build(&sim);
+  if (obs_begin) {
+    obs_begin(&sim);
+  }
   Host* hub = net->host(g.hub);
   Host* region = net->host(g.region);
 
@@ -130,6 +135,9 @@ WanRunResult RunWanPath(const WanPathSpec& spec, WanMode mode, TimeDelta duratio
   }
 
   sim.RunUntil(TimePoint::Zero() + duration);
+  if (obs_end) {
+    obs_end(&sim);
+  }
 
   QuantileEstimator rtts;
   for (UdpPingPongClient* c : pingers) {

@@ -57,6 +57,13 @@ TcpSender::TcpSender(Host* host, uint64_t flow_id, FlowKey key, const TcpFlowPar
     last_payload_bytes_ = rem == 0 ? kMssBytes : rem;
   }
   host_->Register(flow_id_, this);
+  Simulator* sim = host_->sim();
+  comp_ = sim->trace().FindOrRegisterComponent("tcp", "tcp");
+  obs::CounterRegistry& reg = sim->counters();
+  ctr_retx_ = reg.Counter("tcp.retransmits");
+  ctr_rtos_ = reg.Counter("tcp.rtos");
+  ctr_spurious_ = reg.Counter("tcp.spurious");
+  ctr_recoveries_ = reg.Counter("tcp.recoveries");
 }
 
 TcpSender::~TcpSender() { cc_->~HostCc(); }
@@ -97,6 +104,13 @@ void TcpSender::SendSegment(int64_t seq, bool retransmit) {
   pkt.priority = params_.priority;
   if (retransmit) {
     ++retransmits_;
+    ++*ctr_retx_;
+    obs::Tracer& tracer = host_->sim()->trace();
+    if (tracer.enabled(obs::TraceCat::kTcp)) {
+      tracer.Trace(obs::TraceCat::kTcp, obs::TraceEv::kTcpRetx, comp_,
+                   host_->sim()->now(), flow_id_, static_cast<uint64_t>(seq),
+                   rto_recovery_ ? 1 : 0);
+    }
   }
   if (in_recovery_ && !rto_recovery_) {
     prr_out_ += 1;
@@ -231,6 +245,15 @@ void TcpSender::OnRtoTimer() {
     return;  // nothing outstanding
   }
   ++timeouts_;
+  ++*ctr_rtos_;
+  {
+    obs::Tracer& tracer = host_->sim()->trace();
+    if (tracer.enabled(obs::TraceCat::kTcp)) {
+      tracer.Trace(obs::TraceCat::kTcp, obs::TraceEv::kTcpRto, comp_, now,
+                   flow_id_, static_cast<uint64_t>(rto_backoff_ + 1),
+                   static_cast<uint64_t>(CurrentRto().nanos()));
+    }
+  }
   ++rto_backoff_;
   probe_outstanding_ = false;
   cc_->OnLoss(LossSample{now, /*is_timeout=*/true, InflightPkts()});
@@ -254,6 +277,12 @@ void TcpSender::EnterRecovery(TimePoint now) {
   in_recovery_ = true;
   rto_recovery_ = false;
   recovery_point_ = next_seq_;
+  ++*ctr_recoveries_;
+  obs::Tracer& tracer = host_->sim()->trace();
+  if (tracer.enabled(obs::TraceCat::kTcp)) {
+    tracer.Trace(obs::TraceCat::kTcp, obs::TraceEv::kTcpRecoveryEnter, comp_,
+                 now, flow_id_, static_cast<uint64_t>(recovery_point_), 0);
+  }
   scoreboard_.ClearRetx();
   prr_recoverfs_ = std::max(1.0, InflightPkts());
   prr_delivered_ = 0;
@@ -303,6 +332,22 @@ void TcpSender::HandlePacket(Packet pkt) {
 
 void TcpSender::OnAck(const Packet& ack) {
   TimePoint now = host_->sim()->now();
+  // Spurious-retransmit detection (before the scoreboard window moves): the
+  // ACK echoes which data transmission triggered it. If that echo is an
+  // *original* transmission of a segment we have already retransmitted (state
+  // kRetxOutstanding), the original survived and the retransmit was wasted.
+  {
+    const int64_t s = ack.acked_data_seq;
+    if (!ack.echo_retransmit && s >= cum_acked_ && s < next_seq_ &&
+        scoreboard_.StateOf(s) == SackScoreboard::SegState::kRetxOutstanding) {
+      ++*ctr_spurious_;
+      obs::Tracer& tracer = host_->sim()->trace();
+      if (tracer.enabled(obs::TraceCat::kTcp)) {
+        tracer.Trace(obs::TraceCat::kTcp, obs::TraceEv::kTcpSpuriousRetx,
+                     comp_, now, flow_id_, static_cast<uint64_t>(s));
+      }
+    }
+  }
   if (ack.seq > cum_acked_) {
     int64_t newly_acked = ack.seq - cum_acked_;
     // Count bytes for everything newly covered by the cumulative point: full
@@ -342,6 +387,11 @@ void TcpSender::OnAck(const Packet& ack) {
         in_recovery_ = false;
         rto_recovery_ = false;
         scoreboard_.ClearLostAndRetx();
+        obs::Tracer& tracer = host_->sim()->trace();
+        if (tracer.enabled(obs::TraceCat::kTcp)) {
+          tracer.Trace(obs::TraceCat::kTcp, obs::TraceEv::kTcpRecoveryExit,
+                       comp_, now, flow_id_, static_cast<uint64_t>(cum_acked_));
+        }
       }
     }
     sample.in_fast_recovery = in_recovery_ && !rto_recovery_;

@@ -148,6 +148,17 @@ class TcpSender : public PacketHandler {
   uint64_t retransmits_ = 0;
   uint64_t timeouts_ = 0;
 
+  // Observability (PR 6). Counters are *aggregate* per simulator
+  // ("tcp.retransmits", ...) and the trace component is the shared "tcp"
+  // component: flows churn mid-run, and per-flow registration would allocate
+  // on the datapath. Names stay <= 15 chars so the registry lookup string is
+  // SSO — flow construction stays heap-free after the first flow.
+  uint32_t comp_ = 0;
+  uint64_t* ctr_retx_ = nullptr;
+  uint64_t* ctr_rtos_ = nullptr;
+  uint64_t* ctr_spurious_ = nullptr;
+  uint64_t* ctr_recoveries_ = nullptr;
+
   // The two big inline blobs live at the end so the hot scalars above share
   // a few contiguous cache lines; both are reached through pointers anyway
   // (cc_, and the scoreboard's own slot cursor).
