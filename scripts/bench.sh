@@ -17,11 +17,25 @@
 # bound on end_to_end_experiment (branch-only hook cost x records/event over
 # untraced per-event cost) must stay at or below BENCH_MAX_TRACE_OVERHEAD
 # (default 0.02, i.e. 2%).
+#
+# Parallel-DES gates (PR 7): batched same-timestamp dispatch must beat
+# one-at-a-time head pops by BENCH_MIN_BURST_SPEEDUP (default 1.2x), the
+# flow-reclaim and boundary-ring churn rows must be allocation-free, and the
+# sharded fat-tree run at 4 workers must reach BENCH_MIN_PARALLEL_SPEEDUP
+# times the 1-worker events/sec — defaulting to 2.0x with >= 4 cores and to
+# 0.5x otherwise (a box without parallelism can only demonstrate that the
+# conservative sync does not collapse throughput, not a speedup).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-2.0}"
+MIN_BURST_SPEEDUP="${BENCH_MIN_BURST_SPEEDUP:-1.2}"
+if [[ "${JOBS}" -ge 4 ]]; then
+  MIN_PARALLEL_SPEEDUP="${BENCH_MIN_PARALLEL_SPEEDUP:-2.0}"
+else
+  MIN_PARALLEL_SPEEDUP="${BENCH_MIN_PARALLEL_SPEEDUP:-0.5}"
+fi
 MAX_E2E_ALLOCS="${BENCH_MAX_E2E_ALLOCS:-0.01}"
 MAX_CHURN_ALLOCS="${BENCH_MAX_CHURN_ALLOCS:-0.001}"
 MAX_TRACE_ALLOCS="${BENCH_MAX_TRACE_ALLOCS:-0.001}"
@@ -56,7 +70,8 @@ awk -v a="${E2E_ALLOCS}" -v max="${MAX_E2E_ALLOCS}" 'BEGIN { exit !(a <= max) }'
   exit 1
 }
 for bench in qdisc_droptail_churn qdisc_sfq_churn qdisc_fq_codel_churn \
-             qdisc_strict_prio_churn tcp_recovery_churn link_event_rearm_churn; do
+             qdisc_strict_prio_churn tcp_recovery_churn link_event_rearm_churn \
+             flow_reclaim_churn boundary_ring_churn; do
   ALLOCS="$(alloc_of "${bench}")"
   awk -v a="${ALLOCS}" -v max="${MAX_CHURN_ALLOCS}" 'BEGIN { exit !(a <= max) }' || {
     echo "bench.sh: FAIL — ${bench} ${ALLOCS} allocs/op above gate ${MAX_CHURN_ALLOCS}" >&2
@@ -64,6 +79,24 @@ for bench in qdisc_droptail_churn qdisc_sfq_churn qdisc_fq_codel_churn \
   }
   echo "${bench} allocs/op: ${ALLOCS} (gate: <= ${MAX_CHURN_ALLOCS})"
 done
+
+# Batched same-timestamp dispatch must stay a win over serial head pops.
+BURST_SPEEDUP="$(grep -o '"same_time_burst_speedup": [0-9.]*' "${OUT}" |
+  grep -o '[0-9.]*$')"
+echo "same-time burst batched speedup: ${BURST_SPEEDUP}x (gate: >= ${MIN_BURST_SPEEDUP}x)"
+awk -v s="${BURST_SPEEDUP}" -v min="${MIN_BURST_SPEEDUP}" 'BEGIN { exit !(s >= min) }' || {
+  echo "bench.sh: FAIL — same-time burst speedup ${BURST_SPEEDUP}x below gate ${MIN_BURST_SPEEDUP}x" >&2
+  exit 1
+}
+
+# Conservative parallel DES: 4 workers vs 1 on the sharded fat tree.
+PDES_SPEEDUP="$(grep -o '"parallel_des_speedup_w4_over_w1": [0-9.]*' "${OUT}" |
+  grep -o '[0-9.]*$')"
+echo "parallel DES 4-worker speedup: ${PDES_SPEEDUP}x (gate: >= ${MIN_PARALLEL_SPEEDUP}x on ${JOBS} cores)"
+awk -v s="${PDES_SPEEDUP}" -v min="${MIN_PARALLEL_SPEEDUP}" 'BEGIN { exit !(s >= min) }' || {
+  echo "bench.sh: FAIL — parallel DES speedup ${PDES_SPEEDUP}x below gate ${MIN_PARALLEL_SPEEDUP}x" >&2
+  exit 1
+}
 
 # Observability gates: recording must be allocation-free, and instrumented
 # hooks must be effectively free when tracing is off.

@@ -23,6 +23,12 @@ if [[ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # under the sanitizers.
   (cd build-asan && ctest --output-on-failure --no-tests=error -R \
     'sack_scoreboard_test|tcp_recovery_test|transport_test')
+
+  echo "--- TSan pass: parallel-DES shard runner and boundary rings"
+  cmake -B build-tsan -S . -DBUNDLER_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j"${JOBS}" --target shard_channel_test shard_runner_test
+  (cd build-tsan && ctest --output-on-failure --no-tests=error -R \
+    'shard_channel_test|shard_runner_test')
 fi
 
 echo "--- topology construction smoke: --dump-topology for every scenario"
@@ -52,6 +58,23 @@ echo "--- determinism: same seeds on 4 threads must match byte-for-byte"
   --out build/smoke_t4 --quiet > /dev/null
 cmp <(stable build/smoke_t2/fig09_fct.json) <(stable build/smoke_t4/fig09_fct.json)
 cmp <(stable build/smoke_t2/fig09_fct.csv) <(stable build/smoke_t4/fig09_fct.csv)
+
+echo "--- parallel DES: --shards 1 vs --shards 4 must be byte-identical"
+# fig09's dumbbell is one indivisible shard (--shards just validates that);
+# fat_tree_incast genuinely partitions into 6 shards run by 4 workers.
+./build/bundler_run --scenario fig09_fct --trials 1 --shards 1 \
+  --out build/smoke_s1 --quiet
+./build/bundler_run --scenario fig09_fct --trials 1 --shards 4 \
+  --out build/smoke_s4 --quiet > /dev/null
+cmp <(stable build/smoke_s1/fig09_fct.json) <(stable build/smoke_s4/fig09_fct.json)
+./build/bundler_run --scenario fat_tree_incast --trials 2 --shards 1 \
+  --out build/smoke_ft_s1 --quiet
+./build/bundler_run --scenario fat_tree_incast --trials 2 --shards 4 \
+  --out build/smoke_ft_s4 --quiet > /dev/null
+cmp <(stable build/smoke_ft_s1/fat_tree_incast.json) \
+    <(stable build/smoke_ft_s4/fat_tree_incast.json)
+cmp <(stable build/smoke_ft_s1/fat_tree_incast.csv) \
+    <(stable build/smoke_ft_s4/fat_tree_incast.csv)
 
 echo "--- traced scenario: fig02_queue_shift with the flight recorder armed"
 ./build/bundler_run --scenario fig02_queue_shift --trace all --threads 2 \

@@ -118,6 +118,15 @@ void RequestResponse::HandlePacket(Packet pkt) {
     retry_timer_ = kInvalidEventId;
   }
   StartTcpFlow(flows_, server_, client_, params_, std::move(on_complete_));
+  if (flows_->reclaim_enabled()) {
+    // The handshake glue is dead weight once the data flow exists: vacate the
+    // request flow id (retried requests land in the unclaimed counter) and
+    // self-release off this stack frame. The retry timer is already dead.
+    server_->Unregister(request_flow_id_);
+    FlowTable* table = flows_;
+    RequestResponse* self = this;
+    sim_->Schedule(TimeDelta::Zero(), [table, self]() { table->Release(self); });
+  }
 }
 
 std::vector<TcpSender*> StartBulkFlows(Simulator* sim, FlowTable* flows, Host* server,

@@ -49,6 +49,12 @@ class CounterRegistry {
   // iterate in key order, so the dump is deterministic.
   void DumpTo(std::map<std::string, double>* out, const std::string& prefix) const;
 
+  // Merge variant for sharded runs (one registry per shard): counters add
+  // into any existing entry, gauges overwrite (last shard in call order
+  // wins). Deterministic for the same reason DumpTo is.
+  void AccumulateTo(std::map<std::string, double>* out,
+                    const std::string& prefix) const;
+
   size_t size() const {
     return owned_.size() + gauges_.size() + exposed_.size() + exposed_gauges_.size();
   }

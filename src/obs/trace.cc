@@ -13,7 +13,7 @@ namespace {
 
 constexpr const char* kCatNames[] = {
     "sim",  "link", "linksched", "qdisc", "tcp",
-    "sendbox", "mode", "nimbus", "pi", "cc",
+    "sendbox", "mode", "nimbus", "pi", "cc", "shard",
 };
 static_assert(sizeof(kCatNames) / sizeof(kCatNames[0]) ==
               static_cast<size_t>(TraceCat::kNumCats));
@@ -50,6 +50,8 @@ constexpr EvName kEvNames[] = {
     {TraceEv::kPiReset, "pi_reset"},
     {TraceEv::kCcUpdate, "cc_update"},
     {TraceEv::kCcReset, "cc_reset"},
+    {TraceEv::kShardSend, "shard_send"},
+    {TraceEv::kShardDeliver, "shard_deliver"},
 };
 
 void AppendF(std::string* out, const char* fmt, ...) {

@@ -51,6 +51,7 @@ enum class TraceCat : uint8_t {
   kNimbus,     // elasticity detector evaluations
   kPi,         // PI controller updates/resets
   kCc,         // bundle congestion-controller updates/resets
+  kShard,      // cross-shard boundary packet exchange (parallel DES)
   kNumCats,
 };
 
@@ -104,6 +105,11 @@ enum class TraceEv : uint16_t {
   // kCc
   kCcUpdate,  // a=rate_bps b=rtt_ns c=acked_bytes
   kCcReset,   // a=rate_bps
+  // kShard (simulation-determined payloads only — never sync bounds or
+  // anything wall-clock/worker dependent, so sharded traces are identical
+  // across --shards values)
+  kShardSend,     // a=channel_id b=channel_seq c=deliver_ns
+  kShardDeliver,  // a=channel_id b=channel_seq c=sent_ns
 };
 
 const char* TraceEvName(TraceEv ev);

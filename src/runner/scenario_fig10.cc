@@ -71,6 +71,9 @@ TrialResult RunTrial(const TrialPoint& point) {
   // controller from the observed egress rate at pass-through exits — the fix
   // for the phase-3 reproduction gap, kept out of the pinned default.
   cfg.sendbox.warm_restart = warm;
+  if (point.shards > 0) {
+    CheckDumbbellIndivisible(cfg);  // 1 shard: legacy run == sharded run
+  }
   Dumbbell net(&sim, cfg);
 
   SizeCdf cdf = SizeCdf::InternetCoreRouter();

@@ -1,0 +1,184 @@
+// Cross-shard packet exchange for conservative parallel DES.
+//
+// Each cross-shard link gets one ShardChannel: a fixed-capacity single-
+// producer / single-consumer ring of BoundaryMsg (packet + its simulation-
+// determined delivery metadata). The producer is the link's owning shard
+// (packets finishing serialization are pushed instead of scheduled as local
+// propagation events); the consumer is the destination shard's worker, which
+// merges arrivals into its dispatch loop in deterministic (deliver, sent,
+// channel, seq) order. The link's propagation delay is the channel's
+// conservative lookahead: the consumer may safely advance to
+// min(producer_clock + lookahead) over its in-channels before blocking.
+//
+// Memory ordering contract (see ShardRunner::Step): a producer publishes its
+// shard clock with a release store *after* its ring pushes; a consumer loads
+// peer clocks with acquire *before* draining rings. Any message counted into
+// the advance bound is therefore visible when the bound is used.
+//
+// Everything here is allocation-free after construction: slots are
+// preallocated and Packet is a flat, heap-free struct, so a push/pop pair
+// moves ~200 bytes and touches two atomics.
+#ifndef SRC_SIM_SHARD_CHANNEL_H_
+#define SRC_SIM_SHARD_CHANNEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/node.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+// A boundary packet in flight between shards. All fields are simulation-
+// determined (never wall-clock or worker dependent), so the consumer's merge
+// order — and with it the whole run — is identical for any worker count.
+struct BoundaryMsg {
+  int64_t deliver_ns = 0;  // sent_ns + link propagation delay
+  int64_t sent_ns = 0;     // producer-shard time the serialization finished
+  uint64_t seq = 0;        // per-channel send sequence (ties: FIFO per channel)
+  uint32_t channel = 0;    // channel id (= builder edge id), ties across channels
+  PacketHandler* dst = nullptr;  // delivery handler (topology-determined)
+  Packet pkt;
+};
+
+// Bounded SPSC ring, power-of-two capacity, acquire/release head/tail. The
+// same monotonic-index scheme as util/ring_buffer.h / index_ring.h, with the
+// two indices promoted to atomics on separate cache lines so exactly one
+// producer thread and one consumer thread may use it concurrently.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) : buf_(RoundUpPow2(capacity)), mask_(buf_.size() - 1) {}
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full (caller decides how loudly).
+  bool TryPush(T&& v) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) {
+      return false;
+    }
+    buf_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return buf_.size(); }
+
+ private:
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  std::vector<T> buf_;
+  const size_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // next index to pop
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next index to push
+};
+
+// One cross-shard link's egress. Installed on the Link via set_boundary();
+// the destination shard's worker drains the ring.
+class ShardChannel : public BoundarySink {
+ public:
+  struct Spec {
+    uint32_t id = 0;          // builder edge id (stable, topology-determined)
+    int src_shard = 0;
+    int dst_shard = 0;
+    int64_t lookahead_ns = 0;  // the link's propagation delay
+    PacketHandler* dst = nullptr;  // delivery handler in the dst shard
+    Simulator* src_sim = nullptr;  // producer shard's simulator (for tracing)
+    size_t capacity = 8192;
+  };
+
+  explicit ShardChannel(const Spec& spec)
+      : spec_(spec), ring_(spec.capacity) {
+    BUNDLER_CHECK(spec.lookahead_ns > 0);
+    BUNDLER_CHECK(spec.dst != nullptr && spec.src_sim != nullptr);
+    // Per-channel counters live in the producer shard's registry; they are
+    // simulation-determined, so sharded runs report them identically for any
+    // worker count.
+    obs::CounterRegistry& reg = spec_.src_sim->counters();
+    const std::string prefix = "shard.ch" + std::to_string(spec_.id) + ".";
+    ctr_msgs_ = reg.Counter(prefix + "msgs");
+    ctr_bytes_ = reg.Counter(prefix + "bytes");
+  }
+
+  void SendBoundary(TimePoint sent, TimeDelta prop_delay, Packet pkt) override {
+    BUNDLER_CHECK_MSG(prop_delay.nanos() == spec_.lookahead_ns,
+                      "shard channel %u: boundary link delay changed under us",
+                      spec_.id);
+    BoundaryMsg m;
+    m.sent_ns = sent.nanos();
+    m.deliver_ns = m.sent_ns + spec_.lookahead_ns;
+    m.seq = next_seq_++;
+    m.channel = spec_.id;
+    m.dst = spec_.dst;
+    ++*ctr_msgs_;
+    *ctr_bytes_ += pkt.size_bytes;
+    obs::Tracer& tracer = spec_.src_sim->trace();
+    if (tracer.enabled(obs::TraceCat::kShard)) {
+      tracer.Trace(obs::TraceCat::kShard, obs::TraceEv::kShardSend, 0, sent,
+                   spec_.id, m.seq, static_cast<uint64_t>(m.deliver_ns));
+    }
+    m.pkt = std::move(pkt);
+    BUNDLER_CHECK_MSG(
+        ring_.TryPush(std::move(m)),
+        "shard channel %u overflow (%zu slots): the conservative window "
+        "admitted more in-flight boundary packets than the ring holds; raise "
+        "ShardChannel::Spec::capacity",
+        spec_.id, ring_.capacity());
+  }
+
+  bool TryPop(BoundaryMsg* out) { return ring_.TryPop(out); }
+
+  const Spec& spec() const { return spec_; }
+
+ private:
+  Spec spec_;
+  uint64_t next_seq_ = 0;  // producer-side only
+  uint64_t* ctr_msgs_ = nullptr;
+  uint64_t* ctr_bytes_ = nullptr;
+  SpscRing<BoundaryMsg> ring_;
+};
+
+// Owns every channel of one sharded build (NetBuilder fills it; ShardRunner
+// wires consumers).
+class ShardChannelSet {
+ public:
+  ShardChannel* Add(const ShardChannel::Spec& spec) {
+    channels_.push_back(std::make_unique<ShardChannel>(spec));
+    return channels_.back().get();
+  }
+  const std::vector<std::unique_ptr<ShardChannel>>& channels() const {
+    return channels_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_SIM_SHARD_CHANNEL_H_

@@ -1,0 +1,93 @@
+// Conservative parallel-DES driver: runs one partitioned simulation on K
+// worker threads with byte-identical results for every K.
+//
+// Model. The topology is partitioned (src/topo/partition.h) into G shards,
+// each owning a full Simulator — its own event heap, tracer, and counter
+// registry. Cross-shard links push finished packets into SPSC rings
+// (ShardChannel); each channel's propagation delay is its conservative
+// lookahead. Workers execute shards with a static assignment (shard i ->
+// worker i % K), so the per-shard event sequence depends only on the
+// partition — never on the worker count — and `--shards 1` vs `--shards N`
+// output is identical by construction.
+//
+// Synchronization (null-message / horizon exchange, barrier-free fast path):
+// every shard publishes a monotone clock C_g = "I will never again execute an
+// event before C_g". A shard may advance to
+//     bound = min over in-channels (C_src + lookahead)
+// because any future upstream send delivers at >= C_src + lookahead. A shard
+// with no in-channels never blocks. A blocked shard still publishes its bound
+// as its clock (the null message), so chains unblock without barriers; burst
+// budgets keep clocks fresh without a coordinator.
+//
+// Determinism of the merge: boundary arrivals are kept out of the shard's
+// event heap in a local pending min-heap ordered by (deliver, sent, channel,
+// seq) — all simulation-determined — and merged against the heap head with
+// arrival-first tie-breaking. Delivering an arrival counts as one dispatched
+// event (it replaces the propagation event of the unsharded run), so
+// sim.events_dispatched summed over shards equals the single-simulator count.
+#ifndef SRC_SIM_SHARD_RUNNER_H_
+#define SRC_SIM_SHARD_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/shard_channel.h"
+#include "src/sim/simulator.h"
+#include "src/util/time.h"
+
+namespace bundler {
+
+class ShardRunner {
+ public:
+  struct Options {
+    int workers = 1;    // clamped to [1, #shards]
+    size_t burst = 256; // events dispatched per shard step before republishing
+  };
+
+  // `sims[g]` is shard g's simulator; `channels` the boundary rings from the
+  // sharded build. Neither is owned.
+  ShardRunner(std::vector<Simulator*> sims, const ShardChannelSet* channels,
+              Options options);
+
+  // Advances every shard to `until` (inclusive, like Simulator::RunUntil) and
+  // leaves all clocks parked there. Callable repeatedly with increasing
+  // times.
+  void RunUntil(TimePoint until);
+
+  uint64_t total_events() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct InChannel {
+    ShardChannel* ch;
+    const std::atomic<int64_t>* src_clock;
+    int64_t lookahead_ns;
+    PacketHandler* dst;
+  };
+
+  struct Shard {
+    Simulator* sim = nullptr;
+    std::vector<InChannel> in;
+    std::vector<BoundaryMsg> pending;  // min-heap (deliver, sent, channel, seq)
+    alignas(64) std::atomic<int64_t> clock_ns{0};
+    bool done = false;          // owner-worker local, per round
+    uint64_t run_start_events = 0;
+  };
+
+  // One bounded step of shard g: refresh the bound, drain rings, dispatch up
+  // to `burst` events/arrivals below the bound, republish the clock. Returns
+  // true when any event was dispatched.
+  bool Step(Shard& s, int64_t until_ns);
+  void Worker(int w, TimePoint until);
+  void PendingPush(Shard& s, BoundaryMsg m);
+  BoundaryMsg PendingPop(Shard& s);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bundler
+
+#endif  // SRC_SIM_SHARD_RUNNER_H_

@@ -19,19 +19,29 @@ bool Simulator::Reschedule(EventId id, TimePoint t) {
   return queue_.Reschedule(id, t);
 }
 
+void Simulator::DispatchNextBatch() {
+  now_ = queue_.NextTime();
+  const size_t n = queue_.StageBatch(now_);
+  size_t i = 0;
+  for (; i < n && !stopped_; ++i) {
+    if (queue_.DispatchStaged(i)) {
+      ++events_dispatched_;
+    }
+  }
+  // Restores any unreached staged events when Stop() fired mid-batch.
+  queue_.FinishBatch(i);
+}
+
 void Simulator::RunUntil(TimePoint until) {
   stopped_ = false;
   const uint64_t start_dispatched = events_dispatched_;
   trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunStart, sim_comp_,
                now_, static_cast<uint64_t>(until.nanos()));
   while (!stopped_ && !queue_.Empty()) {
-    TimePoint next = queue_.NextTime();
-    if (next > until) {
+    if (queue_.NextTime() > until) {
       break;
     }
-    now_ = next;
-    ++events_dispatched_;
-    queue_.DispatchHead();
+    DispatchNextBatch();
   }
   if (now_ < until) {
     now_ = until;
@@ -46,9 +56,7 @@ void Simulator::RunAll() {
   trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunStart, sim_comp_,
                now_);
   while (!stopped_ && !queue_.Empty()) {
-    now_ = queue_.NextTime();
-    ++events_dispatched_;
-    queue_.DispatchHead();
+    DispatchNextBatch();
   }
   trace_.Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunEnd, sim_comp_, now_,
                events_dispatched_ - start_dispatched, events_dispatched_);

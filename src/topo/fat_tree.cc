@@ -1,0 +1,74 @@
+#include "src/topo/fat_tree.h"
+
+#include <string>
+
+#include "src/util/check.h"
+
+namespace bundler {
+
+SiteId FatTreeSite(int leaf, int host) {
+  return static_cast<SiteId>(1000 + leaf * 100 + host);
+}
+
+NetBuilder FatTreeBuilder(const FatTreeConfig& config, FatTreeGraph* graph) {
+  BUNDLER_CHECK(config.num_leaves >= 2);
+  BUNDLER_CHECK(config.hosts_per_leaf >= 1);
+  BUNDLER_CHECK(config.fabric_delay > TimeDelta::Zero());
+
+  NetBuilder b;
+  FatTreeGraph g;
+
+  // Spines first so they take the lowest node ids (and thus the first two
+  // partition groups), then each leaf followed by its hosts — the partition
+  // group order mirrors the visual top-down layout.
+  g.spines.push_back(b.AddRouter("spine0"));
+  g.spines.push_back(b.AddRouter("spine1"));
+  for (int l = 0; l < config.num_leaves; ++l) {
+    g.leaves.push_back(b.AddRouter("leaf" + std::to_string(l)));
+    g.hosts.emplace_back();
+    for (int h = 0; h < config.hosts_per_leaf; ++h) {
+      g.hosts.back().push_back(b.AddSite(
+          "h" + std::to_string(l) + "_" + std::to_string(h), FatTreeSite(l, h)));
+    }
+  }
+
+  NetBuilder::LinkSpec fabric;
+  fabric.rate = config.fabric_rate;
+  fabric.delay = config.fabric_delay;
+  fabric.buffer_bytes = config.fabric_buffer_bytes;
+
+  NetBuilder::LinkSpec access;
+  access.rate = config.access_rate;
+  access.delay = TimeDelta::Zero();  // co-locates host with its leaf
+  access.buffer_bytes = 4 * 1024 * 1024;
+
+  for (int l = 0; l < config.num_leaves; ++l) {
+    const NetBuilder::NodeId leaf = g.leaves[static_cast<size_t>(l)];
+    // Uplink to spine (l % 2) first: BFS breaks shortest-path ties in
+    // declaration order, so alternate leaves prefer alternate spines.
+    g.uplinks.emplace_back();
+    for (int k = 0; k < 2; ++k) {
+      const int s = (l + k) % 2;
+      g.uplinks.back().push_back(
+          b.AddLink(leaf, g.spines[static_cast<size_t>(s)], fabric,
+                    "up_l" + std::to_string(l) + "_s" + std::to_string(s)));
+    }
+    for (int s = 0; s < 2; ++s) {
+      b.AddLink(g.spines[static_cast<size_t>(s)], leaf, fabric,
+                "down_s" + std::to_string(s) + "_l" + std::to_string(l));
+    }
+    for (int h = 0; h < config.hosts_per_leaf; ++h) {
+      const NetBuilder::NodeId host = g.hosts[static_cast<size_t>(l)][static_cast<size_t>(h)];
+      b.AddLink(host, leaf, access,
+                "acc_l" + std::to_string(l) + "_h" + std::to_string(h));
+      b.AddWire(leaf, host);
+    }
+  }
+
+  if (graph != nullptr) {
+    *graph = g;
+  }
+  return b;
+}
+
+}  // namespace bundler

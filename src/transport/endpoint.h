@@ -13,12 +13,15 @@
 #define SRC_TRANSPORT_ENDPOINT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <vector>
 
 #include "src/net/node.h"
 #include "src/sim/simulator.h"
+#include "src/util/check.h"
 #include "src/util/flat_map.h"
 
 namespace bundler {
@@ -57,6 +60,17 @@ class Host : public PacketHandler {
 // Owns transport objects for the lifetime of a scenario and allocates ids.
 // Objects are constructed in bump-arena blocks and destroyed (in reverse
 // construction order) when the table goes away.
+//
+// Reclamation (opt-in, see EnableReclaim): a long churny run would otherwise
+// grow the arena without bound, one dead sender+receiver pair per completed
+// flow. With reclaim on, each object is carved with a 16-byte header and
+// rounded up to a 64-byte size class; Release() destroys the object and
+// threads its block onto a per-class free list, so steady-state churn recycles
+// blocks instead of growing the arena — zero heap allocations per
+// create/release cycle once the working set is warm. Release/Emplace are
+// mutex-guarded because in a sharded run flows complete concurrently in
+// different shards. Reclaim must be enabled before the first Emplace so every
+// owned object has a header.
 class FlowTable {
  public:
   FlowTable() = default;
@@ -75,19 +89,109 @@ class FlowTable {
     static_assert(sizeof(T) <= kBlockBytes, "flow object larger than an arena block");
     static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
                   "arena blocks are new[]-aligned");
-    void* mem = Allocate(sizeof(T), alignof(T));
+    if (!reclaim_) {
+      void* mem = Allocate(sizeof(T), alignof(T));
+      T* obj = ::new (mem) T(std::forward<Args>(args)...);
+      owned_.push_back(Owned{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+      return obj;
+    }
+    // Construction runs outside the lock: flow constructors send packets and
+    // schedule events, and must not hold the table mutex while doing so.
+    void* mem = AllocateReclaimable(sizeof(T));
     T* obj = ::new (mem) T(std::forward<Args>(args)...);
-    owned_.push_back(Owned{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Header(obj)->owned_idx = static_cast<uint32_t>(owned_.size());
+      owned_.push_back(Owned{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
     return obj;
   }
 
   size_t size() const { return owned_.size(); }
+
+  // --- Arena reclamation (opt-in) ---
+  // Must be called before the first Emplace (headers are laid down at
+  // allocation time). Scenarios that enable it are responsible for only
+  // Releasing objects that no live event still references.
+  void EnableReclaim() {
+    BUNDLER_CHECK_MSG(owned_.empty(),
+                      "EnableReclaim must run before the first Emplace");
+    reclaim_ = true;
+  }
+  bool reclaim_enabled() const { return reclaim_; }
+
+  // Destroys an Emplace()d object and recycles its arena block. Only valid
+  // when reclaim is enabled and `obj` came from this table.
+  void Release(void* obj) {
+    BUNDLER_CHECK(reclaim_);
+    std::lock_guard<std::mutex> lock(mu_);
+    ReclaimHeader* h = Header(obj);
+    BUNDLER_CHECK_MSG(h->magic == kReclaimMagic,
+                      "Release of a pointer this table does not own");
+    const size_t idx = h->owned_idx;
+    BUNDLER_CHECK(idx < owned_.size() && owned_[idx].obj == obj);
+    owned_[idx].destroy(obj);
+    owned_[idx] = owned_.back();
+    owned_.pop_back();
+    if (idx < owned_.size()) {
+      Header(owned_[idx].obj)->owned_idx = static_cast<uint32_t>(idx);
+    }
+    const size_t cls = h->size_class;
+    h->magic = 0;
+    // The dead block's first word becomes the free-list link.
+    *reinterpret_cast<void**>(h) = free_lists_[cls];
+    free_lists_[cls] = h;
+    ++releases_;
+  }
+
+  uint64_t releases() const { return releases_; }
+  uint64_t reuses() const { return reuses_; }
+  size_t arena_blocks() const { return blocks_.size(); }
 
  private:
   struct Owned {
     void* obj;
     void (*destroy)(void*);
   };
+
+  // Sits immediately before each reclaimable object. 16 bytes keeps the
+  // payload at new[] alignment; the magic doubles as a use-after-release trap
+  // and leaves the first word free for the free-list link once dead.
+  struct ReclaimHeader {
+    uint32_t owned_idx;
+    uint32_t size_class;
+    uint64_t magic;
+  };
+  static_assert(sizeof(ReclaimHeader) == 16);
+  static constexpr uint64_t kReclaimMagic = 0x666c6f7774626c6bULL;  // "flowtblk"
+  static constexpr size_t kGranule = 64;
+
+  static ReclaimHeader* Header(void* obj) {
+    return reinterpret_cast<ReclaimHeader*>(static_cast<unsigned char*>(obj) -
+                                            sizeof(ReclaimHeader));
+  }
+
+  void* AllocateReclaimable(size_t bytes) {
+    const size_t cls = (bytes + kGranule - 1) / kGranule;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_lists_.size() <= cls) {
+      free_lists_.resize(cls + 1, nullptr);
+    }
+    void* block = free_lists_[cls];
+    if (block != nullptr) {
+      free_lists_[cls] = *static_cast<void**>(block);
+      ++reuses_;
+    } else {
+      // Block aligned to new[] alignment so the payload (16 bytes in) still
+      // satisfies the Emplace static_assert's alignment bound.
+      block = Allocate(sizeof(ReclaimHeader) + cls * kGranule,
+                       __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+    }
+    auto* h = static_cast<ReclaimHeader*>(block);
+    h->size_class = static_cast<uint32_t>(cls);
+    h->magic = kReclaimMagic;
+    return static_cast<unsigned char*>(block) + sizeof(ReclaimHeader);
+  }
 
   void* Allocate(size_t bytes, size_t align) {
     size_t at = (arena_used_ + align - 1) & ~(align - 1);
@@ -107,6 +211,12 @@ class FlowTable {
   std::vector<std::unique_ptr<unsigned char[]>> blocks_;
   size_t arena_used_ = 0;
   std::vector<Owned> owned_;
+
+  bool reclaim_ = false;
+  std::mutex mu_;
+  std::vector<void*> free_lists_;  // indexed by size class, intrusive links
+  uint64_t releases_ = 0;
+  uint64_t reuses_ = 0;
 };
 
 }  // namespace bundler

@@ -8,6 +8,13 @@
 
 namespace bundler {
 
+namespace {
+// How long a completed receiver keeps ACKing before releasing itself when
+// arena reclamation is on. Must comfortably exceed the sender's plausible
+// retransmission timeout for the tail segment (kMinRto with a few backoffs).
+constexpr TimeDelta kReceiverReclaimLinger = TimeDelta::Seconds(2);
+}  // namespace
+
 TcpReceiver::TcpReceiver(Host* host, uint64_t flow_id,
                          std::function<void(TimePoint)> on_complete)
     : host_(host), flow_id_(flow_id), on_complete_(std::move(on_complete)) {
@@ -40,6 +47,18 @@ void TcpReceiver::HandlePacket(Packet pkt) {
     complete_ = true;
     if (on_complete_) {
       on_complete_(now);
+    }
+    if (reclaim_ != nullptr) {
+      // TIME_WAIT analog: the sender's last retransmission may still be in
+      // flight (its previous copy got through but the ACK was lost), so keep
+      // ACKing for a grace period comfortably above the max plausible RTO
+      // before vacating the flow id.
+      FlowTable* table = reclaim_;
+      TcpReceiver* self = this;
+      host_->sim()->Schedule(kReceiverReclaimLinger, [table, self]() {
+        self->host_->Unregister(self->flow_id_);
+        table->Release(self);
+      });
     }
   }
 }
@@ -417,6 +436,18 @@ void TcpSender::OnAck(const Packet& ack) {
         host_->sim()->Cancel(pacing_timer_);
         pacing_timer_ = kInvalidEventId;
       }
+      if (reclaim_ != nullptr) {
+        // Every byte is cumulatively ACKed and every timer above is dead, so
+        // no pending event references this sender. Vacate the flow id now
+        // (straggler dup-ACKs land in the host's unclaimed counter) and
+        // destroy via a zero-delay event so the destructor never runs under
+        // this handler's own stack frame.
+        host_->Unregister(flow_id_);
+        FlowTable* table = reclaim_;
+        TcpSender* self = this;
+        host_->sim()->Schedule(TimeDelta::Zero(),
+                               [table, self]() { table->Release(self); });
+      }
       return;
     }
   } else if (ack.seq == cum_acked_) {
@@ -472,8 +503,14 @@ TcpSender* CreateTcpFlow(FlowTable* table, Host* src, Host* dst,
   key.src_port = 80;
   key.dst_port = dst->AllocPort();
   key.protocol = 6;
-  table->Emplace<TcpReceiver>(dst, flow_id, std::move(on_receiver_complete));
-  return table->Emplace<TcpSender>(src, flow_id, key, params);
+  TcpReceiver* receiver =
+      table->Emplace<TcpReceiver>(dst, flow_id, std::move(on_receiver_complete));
+  TcpSender* sender = table->Emplace<TcpSender>(src, flow_id, key, params);
+  if (table->reclaim_enabled()) {
+    receiver->set_reclaim(table);
+    sender->set_reclaim(table);
+  }
+  return sender;
 }
 
 TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,

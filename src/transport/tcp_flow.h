@@ -40,9 +40,15 @@ class TcpReceiver : public PacketHandler {
   int64_t bytes_received() const { return bytes_received_; }
   bool complete() const { return complete_; }
 
+  // Arms self-release into `table` (which must have reclaim enabled): after
+  // completion the receiver lingers for a TIME_WAIT-style grace period — still
+  // ACKing retransmits of the tail — then unregisters and releases itself.
+  void set_reclaim(FlowTable* table) { reclaim_ = table; }
+
  private:
   Host* host_;
   uint64_t flow_id_;
+  FlowTable* reclaim_ = nullptr;
   std::function<void(TimePoint)> on_complete_;
   int64_t cum_expected_ = 0;
   SeqIntervalSet out_of_order_;  // contiguous runs above the cumulative point
@@ -70,6 +76,12 @@ class TcpSender : public PacketHandler {
   uint64_t retransmits() const { return retransmits_; }
   uint64_t timeouts() const { return timeouts_; }
   TimeDelta srtt() const { return srtt_; }
+
+  // Arms self-release into `table`: on completion (every byte cumulatively
+  // ACKed, all timers cancelled) the sender unregisters and schedules a
+  // zero-delay event that releases it, so destruction never runs under a
+  // live stack frame of its own handler.
+  void set_reclaim(FlowTable* table) { reclaim_ = table; }
 
  private:
   static constexpr auto kMinRto = TimeDelta::Millis(200);
@@ -109,6 +121,7 @@ class TcpSender : public PacketHandler {
 
   Host* host_;
   uint64_t flow_id_;
+  FlowTable* reclaim_ = nullptr;
   FlowKey key_;
   TcpFlowParams params_;
   HostCc* cc_;

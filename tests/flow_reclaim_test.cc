@@ -1,0 +1,172 @@
+// FlowTable arena-reclamation tests (src/transport/endpoint.h): free-list
+// recycling and swap-remove header fixup at the unit level, misuse death
+// tests, and a TCP integration run over the fat-tree fabric where every
+// completed flow hands its sender and receiver blocks back to the arena —
+// a second wave of flows must be carved entirely from the free lists.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/topo/fat_tree.h"
+#include "src/topo/net_builder.h"
+#include "src/transport/endpoint.h"
+#include "src/transport/tcp_flow.h"
+
+namespace bundler {
+namespace {
+
+struct Tracked {
+  explicit Tracked(int* live) : live(live) { ++*live; }
+  ~Tracked() { --*live; }
+  int* live;
+  char payload[40] = {};
+};
+
+TEST(FlowReclaimTest, ReleaseRecyclesBlocksThroughTheFreeList) {
+  FlowTable table;
+  table.EnableReclaim();
+  ASSERT_TRUE(table.reclaim_enabled());
+  int live = 0;
+  Tracked* a = table.Emplace<Tracked>(&live);
+  Tracked* b = table.Emplace<Tracked>(&live);
+  Tracked* c = table.Emplace<Tracked>(&live);
+  EXPECT_EQ(live, 3);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.arena_blocks(), 1u);
+
+  // Middle release: the last entry swaps into b's owned_ slot, and its header
+  // must be re-pointed — releasing it afterwards has to find the right slot.
+  table.Release(b);
+  EXPECT_EQ(live, 2);
+  EXPECT_EQ(table.size(), 2u);
+  table.Release(c);
+  table.Release(a);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.releases(), 3u);
+  EXPECT_EQ(table.reuses(), 0u);
+
+  // New same-class objects come off the free list (LIFO), not the arena.
+  Tracked* d = table.Emplace<Tracked>(&live);
+  Tracked* e = table.Emplace<Tracked>(&live);
+  EXPECT_EQ(d, a);
+  EXPECT_EQ(e, c);
+  EXPECT_EQ(table.reuses(), 2u);
+  EXPECT_EQ(table.arena_blocks(), 1u);
+  table.Release(d);
+  table.Release(e);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(FlowReclaimTest, SizeClassesKeepIndependentFreeLists) {
+  struct Big {
+    explicit Big(int* live) : live(live) { ++*live; }
+    ~Big() { --*live; }
+    int* live;
+    char payload[200] = {};
+  };
+  FlowTable table;
+  table.EnableReclaim();
+  int live = 0;
+  Tracked* small = table.Emplace<Tracked>(&live);
+  Big* big = table.Emplace<Big>(&live);
+  table.Release(small);
+  table.Release(big);
+  // Each class reuses its own freed block; a 200-byte object must never land
+  // in a 64-byte slot.
+  Big* big2 = table.Emplace<Big>(&live);
+  Tracked* small2 = table.Emplace<Tracked>(&live);
+  EXPECT_EQ(static_cast<void*>(big2), static_cast<void*>(big));
+  EXPECT_EQ(static_cast<void*>(small2), static_cast<void*>(small));
+  EXPECT_EQ(table.reuses(), 2u);
+  table.Release(big2);
+  table.Release(small2);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(FlowReclaimTest, LegacyModeOwnsObjectsUntilTableDestruction) {
+  int live = 0;
+  {
+    FlowTable table;
+    table.Emplace<Tracked>(&live);
+    table.Emplace<Tracked>(&live);
+    EXPECT_FALSE(table.reclaim_enabled());
+    EXPECT_EQ(live, 2);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(FlowReclaimDeathTest, EnableAfterEmplaceDies) {
+  FlowTable table;
+  int live = 0;
+  table.Emplace<Tracked>(&live);
+  EXPECT_DEATH(table.EnableReclaim(), "before the first Emplace");
+}
+
+TEST(FlowReclaimDeathTest, ReleaseWithoutReclaimDies) {
+  FlowTable table;
+  int live = 0;
+  Tracked* t = table.Emplace<Tracked>(&live);
+  EXPECT_DEATH(table.Release(t), "reclaim_");
+}
+
+TEST(FlowReclaimDeathTest, ReleaseOfForeignPointerDies) {
+  FlowTable table;
+  table.EnableReclaim();
+  uint64_t buf[8] = {};  // leading zeros where the magic header would sit
+  EXPECT_DEATH(table.Release(&buf[2]), "does not own");
+}
+
+// Integration: completed TCP flows self-release. The sender frees at
+// completion; the receiver lingers (TIME_WAIT analog, ~2 s) and then frees.
+// A second wave created after the first wave's blocks return must allocate
+// entirely from the free lists — steady-state churn does not grow the arena.
+TEST(FlowReclaimTest, CompletedTcpFlowsReleaseAndNewFlowsReuse) {
+  FatTreeConfig cfg;
+  FatTreeGraph g;
+  NetBuilder b = FatTreeBuilder(cfg, &g);
+  Simulator sim;
+  std::unique_ptr<Net> net = b.Build(&sim);
+  net->flows()->EnableReclaim();
+
+  auto start_wave = [&](TimePoint base) {
+    int n = 0;
+    for (int l = 1; l < cfg.num_leaves; ++l) {
+      for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+        Host* src = net->host(
+            g.hosts[static_cast<size_t>(l)][static_cast<size_t>(h)]);
+        Host* dst = net->host(g.hosts[0][static_cast<size_t>(h)]);
+        const TimePoint start = base + TimeDelta::Micros(50 * n);
+        ++n;
+        TcpFlowParams params;
+        params.size_bytes = 64 * 1024;
+        params.request_start = start;
+        TcpSender* sender =
+            CreateTcpFlow(net->flows(), src, dst, params, nullptr);
+        sim.ScheduleAt(start, [sender]() { sender->Start(); });
+      }
+    }
+    return n;
+  };
+
+  const int first = start_wave(TimePoint::Zero() + TimeDelta::Millis(1));
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(3));
+  // First wave fully complete and past the receiver linger: every sender and
+  // receiver released, table empty, arena warm.
+  EXPECT_EQ(net->flows()->releases(), static_cast<uint64_t>(2 * first));
+  EXPECT_EQ(net->flows()->size(), 0u);
+  const size_t warm_blocks = net->flows()->arena_blocks();
+
+  const int second = start_wave(sim.now() + TimeDelta::Millis(1));
+  sim.RunUntil(TimePoint::Zero() + TimeDelta::Seconds(8));
+  EXPECT_EQ(net->flows()->releases(), static_cast<uint64_t>(2 * (first + second)));
+  EXPECT_EQ(net->flows()->size(), 0u);
+  // The entire second wave was carved from recycled blocks.
+  EXPECT_EQ(net->flows()->reuses(), static_cast<uint64_t>(2 * second));
+  EXPECT_EQ(net->flows()->arena_blocks(), warm_blocks);
+}
+
+}  // namespace
+}  // namespace bundler
