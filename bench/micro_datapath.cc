@@ -239,12 +239,12 @@ BenchResult BenchScheduleDispatch(const std::string& name) {
   payload.words[0] = 1;
   payload.sink = &sink_word;
   for (int i = 0; i < 4096; ++i) {
-    q.Push(base + TimeDelta::Micros(i), [payload]() { *payload.sink += payload.words[0]; });
+    (void)q.Push(base + TimeDelta::Micros(i), [payload]() { *payload.sink += payload.words[0]; });
   }
   uint64_t i = 0;
   BenchResult r = Measure(name, 1 << 16, 1 << 21, [&](uint64_t) {
-    q.Push(base + TimeDelta::Micros(4096 + i++),
-           [payload]() { *payload.sink += payload.words[1]; });
+    (void)q.Push(base + TimeDelta::Micros(4096 + i++),
+                 [payload]() { *payload.sink += payload.words[1]; });
     if (!q.Empty()) {
       TimePoint next = q.NextTime();
       TimePoint t;
@@ -274,11 +274,11 @@ BenchResult BenchScheduleCancel(const std::string& name) {
   // the cancel-heavy pattern of RTO timers and shaper rate changes.
   BenchResult r = Measure(name, 1 << 14, 1 << 20, [&](uint64_t) {
     size_t victim = i % pending.size();
-    q.Cancel(pending[victim]);
+    (void)q.Cancel(pending[victim]);
     pending[victim] = q.Push(base + TimeDelta::Micros(4096 + i),
                              [payload]() { *payload.sink += payload.words[1]; });
-    q.Push(base + TimeDelta::Micros(4096 + i) + TimeDelta::Nanos(1),
-           [payload]() { *payload.sink += payload.words[2]; });
+    (void)q.Push(base + TimeDelta::Micros(4096 + i) + TimeDelta::Nanos(1),
+                 [payload]() { *payload.sink += payload.words[2]; });
     TimePoint t;
     q.PopNext(&t)();
     ++i;
@@ -291,7 +291,7 @@ BenchResult BenchPeriodicDispatch() {
   EventQueue q;
   static uint64_t ticks = 0;
   for (int i = 0; i < 64; ++i) {
-    q.PushPeriodic(TimePoint::FromNanos(i), TimeDelta::Micros(1), []() { ++ticks; });
+    (void)q.PushPeriodic(TimePoint::FromNanos(i), TimeDelta::Micros(1), []() { ++ticks; });
   }
   BenchResult r = Measure("engine_periodic_dispatch", 1 << 14, 1 << 20,
                           [&](uint64_t) { q.DispatchHead(); });
@@ -409,19 +409,19 @@ BenchResult BenchSameTimeBurst(const std::string& name) {
   // serial PopNext must sift the hole from the root through this heap, while
   // StageBatch removes the same-time fragment deepest-position-first.
   for (int i = 0; i < 8192; ++i) {
-    q.Push(base + TimeDelta::Seconds(1000) + TimeDelta::Micros(i),
-           []() { ++ticks; });
+    (void)q.Push(base + TimeDelta::Seconds(1000) + TimeDelta::Micros(i),
+                 []() { ++ticks; });
   }
   int64_t round = 0;
   BenchResult r = Measure(name, 1 << 12, 1 << 17, [&](uint64_t) {
     const TimePoint t = base + TimeDelta::Micros(++round);
     for (int k = 0; k < kBurst; ++k) {
-      q.Push(t, []() { ++ticks; });
+      (void)q.Push(t, []() { ++ticks; });
     }
     if (kBatched) {
       const size_t n = q.StageBatch(t);
       for (size_t k = 0; k < n; ++k) {
-        q.DispatchStaged(k);
+        (void)q.DispatchStaged(k);
       }
       q.FinishBatch(n);
     } else {
@@ -487,7 +487,7 @@ BenchResult BenchBoundaryRingChurn() {
   return Measure("boundary_ring_churn", 1 << 14, 1 << 20, [&](uint64_t i) {
     ch.SendBoundary(TimePoint::FromNanos(static_cast<int64_t>(i)),
                     TimeDelta::Millis(1), TypicalPacket(i));
-    ch.TryPop(&m);
+    (void)ch.TryPop(&m);
     g_sink = g_sink + m.pkt.size_bytes;
   });
 }

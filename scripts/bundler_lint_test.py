@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Self-test for bundler_lint.py: every rule must fire on a known-bad
+snippet, stay quiet on the matching known-good snippet, and honor the
+lint:allow escape hatch. Run directly or via scripts/lint.sh / ctest."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bundler_lint  # noqa: E402
+
+
+def lint_source(source, rel_path):
+    """Lints `source` as if it lived at rel_path inside the repo."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, os.path.basename(rel_path))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(source)
+        return bundler_lint.lint_file(path, rel_path=rel_path)
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    BAD = """
+#include <unordered_map>
+std::unordered_map<int, int> table_;
+void Dump() {
+  for (const auto& [k, v] : table_) { Use(k, v); }
+}
+"""
+
+    def test_fires_on_range_for(self):
+        self.assertIn("unordered-iteration",
+                      rules_of(lint_source(self.BAD, "src/util/x.cc")))
+
+    def test_fires_on_begin(self):
+        src = ("std::unordered_set<int> seen_;\n"
+               "auto it = seen_.begin();\n")
+        self.assertIn("unordered-iteration",
+                      rules_of(lint_source(src, "src/util/x.cc")))
+
+    def test_lookup_is_fine(self):
+        src = ("std::unordered_map<int, int> table_;\n"
+               "int Get(int k) { return table_.at(k); }\n"
+               "bool Has(int k) { return table_.count(k) != 0; }\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/util/x.cc")))
+
+    def test_allow_suppresses(self):
+        src = ("std::unordered_map<int, int> table_;\n"
+               "for (const auto& [k, v] : table_) {}"
+               "  // lint:allow(unordered-iteration)\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/util/x.cc")))
+
+
+class PointerKeyedOrderTest(unittest.TestCase):
+    def test_fires(self):
+        src = "std::map<Flow*, int> by_flow_;\n"
+        self.assertIn("pointer-keyed-order",
+                      rules_of(lint_source(src, "src/util/x.h")))
+
+    def test_value_keys_fine(self):
+        src = "std::map<std::string, int> by_name_;\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/util/x.h")))
+
+    def test_allow_suppresses(self):
+        src = ("// lint:allow(pointer-keyed-order)\n"
+               "std::map<Flow*, int> by_flow_;\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/util/x.h")))
+
+
+class WallClockTest(unittest.TestCase):
+    def test_fires_on_rand(self):
+        src = "int jitter = rand() % 7;\n"
+        self.assertIn("wall-clock", rules_of(lint_source(src, "src/cc/x.cc")))
+
+    def test_fires_on_steady_clock(self):
+        src = "auto t0 = std::chrono::steady_clock::now();\n"
+        self.assertIn("wall-clock", rules_of(lint_source(src, "src/cc/x.cc")))
+
+    def test_fires_on_time(self):
+        src = "long now = time(nullptr);\n"
+        self.assertIn("wall-clock", rules_of(lint_source(src, "src/cc/x.cc")))
+
+    def test_sim_time_methods_fine(self):
+        src = ("TimePoint t = sim->now();\n"
+               "int64_t ns = pkt.tx_time.nanos();\n"
+               "TimePoint next = q.NextTime();\n"
+               "double s = obj.time();\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/cc/x.cc")))
+
+    def test_allow_suppresses(self):
+        src = "auto t = std::chrono::steady_clock::now();  // lint:allow(wall-clock)\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/cc/x.cc")))
+
+
+class DatapathStdFunctionTest(unittest.TestCase):
+    def test_fires_in_datapath(self):
+        src = "std::function<void(Packet)> out_;\n"
+        self.assertIn("datapath-std-function",
+                      rules_of(lint_source(src, "src/net/x.h")))
+
+    def test_fine_outside_datapath(self):
+        src = "std::function<void(Packet)> out_;\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/runner/x.h")))
+
+    def test_comment_mention_fine(self):
+        src = "// std::function would heap-allocate here\nint x;\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/net/x.h")))
+
+    def test_allow_suppresses(self):
+        src = "std::function<void()> cb_;  // lint:allow(datapath-std-function)\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/net/x.h")))
+
+
+class DatapathHeapAllocTest(unittest.TestCase):
+    def test_fires_on_new(self):
+        src = "Slot* s = new Slot[n];\n"
+        self.assertIn("datapath-heap-alloc",
+                      rules_of(lint_source(src, "src/transport/x.h")))
+
+    def test_fires_on_make_unique(self):
+        src = "auto q = std::make_unique<DropTailFifo>(limit);\n"
+        self.assertIn("datapath-heap-alloc",
+                      rules_of(lint_source(src, "src/qdisc/x.cc")))
+
+    def test_fires_on_malloc(self):
+        src = "void* p = malloc(64);\n"
+        self.assertIn("datapath-heap-alloc",
+                      rules_of(lint_source(src, "src/sim/x.cc")))
+
+    def test_placement_new_fine(self):
+        src = ("::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));\n"
+               "new (slot) T(args);\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/sim/x.h")))
+
+    def test_fine_outside_datapath(self):
+        src = "auto r = std::make_unique<Report>();\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/runner/x.cc")))
+
+    def test_allow_suppresses(self):
+        src = "auto s = std::make_unique<Shard>();  // lint:allow(datapath-heap-alloc)\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/sim/x.cc")))
+
+
+class RawMutexTest(unittest.TestCase):
+    def test_fires_without_include(self):
+        src = "std::mutex mu_;\n"
+        self.assertIn("raw-mutex", rules_of(lint_source(src, "src/runner/x.cc")))
+
+    def test_fires_without_guarded_by(self):
+        src = ('#include "src/util/thread_annotations.h"\n'
+               "std::mutex mu_;\n")
+        self.assertIn("raw-mutex", rules_of(lint_source(src, "src/runner/x.cc")))
+
+    def test_annotated_is_fine(self):
+        src = ('#include "src/util/thread_annotations.h"\n'
+               "std::mutex mu_;\n"
+               "int state_ GUARDED_BY(mu_);\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/runner/x.cc")))
+
+    def test_allow_suppresses(self):
+        src = "static std::mutex mu;  // lint:allow(raw-mutex)\n"
+        self.assertEqual([], rules_of(lint_source(src, "src/runner/x.cc")))
+
+
+class EscapeHatchTest(unittest.TestCase):
+    def test_allow_is_per_rule(self):
+        # An allow for one rule must not blanket-suppress another on the line.
+        src = "std::function<void()> f_ = [] { return rand(); };  // lint:allow(wall-clock)\n"
+        rules = rules_of(lint_source(src, "src/net/x.h"))
+        self.assertIn("datapath-std-function", rules)
+        self.assertNotIn("wall-clock", rules)
+
+    def test_allow_list(self):
+        src = ("std::function<void()> f_ = [] { return rand(); };"
+               "  // lint:allow(wall-clock, datapath-std-function)\n")
+        self.assertEqual([], rules_of(lint_source(src, "src/net/x.h")))
+
+
+class RepoIsCleanTest(unittest.TestCase):
+    def test_src_tree_is_lint_clean(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(repo, "src")
+        if not os.path.isdir(src):
+            self.skipTest("src/ not found")
+        violations = []
+        for path in bundler_lint.collect_files([src]):
+            rel = os.path.relpath(path, repo)
+            violations.extend(bundler_lint.lint_file(path, rel_path=rel))
+        self.assertEqual([], [str(v) for v in violations])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# CI entrypoint: configure + build + unit tests (plain and ASan+UBSan),
-# plus one smoke scenario run, including the thread-count determinism
-# guarantee (same seed => byte-identical aggregate JSON regardless of
-# --threads). Set CHECK_SKIP_SANITIZERS=1 to skip the sanitizer pass (e.g.
-# on machines without libasan).
+# CI entrypoint, tiered:
+#   0. lint       — scripts/lint.sh (determinism/zero-alloc rules + self-test)
+#   1. build+test — plain build, full ctest
+#   2. sanitizers — ASan+UBSan full suite, TSan over every concurrent suite
+#   3. analyzers  — scripts/analyze.sh --tidy-only when clang-tidy exists
+#   4. smoke      — scenario runs with byte-identity determinism checks
+# Set CHECK_SKIP_SANITIZERS=1 to skip tier 2 (e.g. on machines without
+# libasan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "--- lint tier: determinism/zero-alloc rules"
+./scripts/lint.sh
 
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
@@ -24,11 +30,24 @@ if [[ "${CHECK_SKIP_SANITIZERS:-0}" != "1" ]]; then
   (cd build-asan && ctest --output-on-failure --no-tests=error -R \
     'sack_scoreboard_test|tcp_recovery_test|transport_test')
 
-  echo "--- TSan pass: parallel-DES shard runner and boundary rings"
+  echo "--- TSan pass: every suite that spawns threads or crosses shards"
+  # shard_channel/shard_runner: SPSC rings and the CMB null-message protocol;
+  # partition/runner/integration-adjacent suites: TrialRunner worker pool and
+  # sharded trials; obs: trace capture under the worker pool; flow_reclaim:
+  # FlowTable, whose arena is mutex-guarded.
+  TSAN_SUITES='shard_channel_test|shard_runner_test|partition_test|runner_test|obs_test|flow_reclaim_test'
   cmake -B build-tsan -S . -DBUNDLER_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j"${JOBS}" --target shard_channel_test shard_runner_test
-  (cd build-tsan && ctest --output-on-failure --no-tests=error -R \
-    'shard_channel_test|shard_runner_test')
+  cmake --build build-tsan -j"${JOBS}" --target \
+    shard_channel_test shard_runner_test partition_test runner_test \
+    obs_test flow_reclaim_test
+  (cd build-tsan && ctest --output-on-failure --no-tests=error -R "${TSAN_SUITES}")
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "--- analyzer tier: clang-tidy over changed files"
+  ./scripts/analyze.sh --tidy-only
+else
+  echo "--- analyzer tier: clang-tidy not installed, skipping"
 fi
 
 echo "--- topology construction smoke: --dump-topology for every scenario"

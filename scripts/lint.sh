@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the repo-specific determinism/zero-alloc linter (scripts/bundler_lint.py)
+# over src/, plus its self-test (which proves every rule still fires on known-bad
+# input and that lint:allow suppresses). Part of scripts/check.sh tier 1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHON=${PYTHON:-python3}
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "lint.sh: $PYTHON not found; skipping lint" >&2
+  exit 0
+fi
+
+echo "== bundler_lint self-test =="
+"$PYTHON" scripts/bundler_lint_test.py
+
+echo "== bundler_lint src/ =="
+"$PYTHON" scripts/bundler_lint.py src
+echo "lint: clean"

@@ -55,21 +55,22 @@ void PoissonWebWorkload::IssueRequest() {
   params.const_cwnd_pkts = config_.const_cwnd_pkts;
   params.priority = config_.priority;
   params.request_start = now;
-  std::function<void(TimePoint)> on_complete;
+  InlineFunction<void(TimePoint)> on_complete;
   if (fct_ != nullptr) {
     uint64_t req_id = fct_->RegisterRequest(size, now, config_.priority);
     params.request_id = req_id;
     FctRecorder* fct = fct_;
     on_complete = [fct, req_id](TimePoint end) { fct->OnComplete(req_id, end); };
   }
-  flows_->Emplace<RequestResponse>(sim_, flows_, server_, client_, params,
-                                   std::move(on_complete));
+  // Fire-and-forget: the FlowTable owns the flow's lifetime.
+  (void)flows_->Emplace<RequestResponse>(sim_, flows_, server_, client_, params,
+                                         std::move(on_complete));
   ScheduleNext();
 }
 
 RequestResponse::RequestResponse(Simulator* sim, FlowTable* flows, Host* server,
                                  Host* client, const TcpFlowParams& params,
-                                 std::function<void(TimePoint)> on_complete)
+                                 InlineFunction<void(TimePoint)> on_complete)
     : sim_(sim),
       flows_(flows),
       server_(server),
@@ -159,14 +160,15 @@ void IssueSingleRequest(Simulator* sim, FlowTable* flows, Host* server, Host* cl
   params.cc = cc;
   params.priority = priority;
   params.request_start = sim->now();
-  std::function<void(TimePoint)> on_complete;
+  InlineFunction<void(TimePoint)> on_complete;
   if (fct != nullptr) {
     uint64_t req_id = fct->RegisterRequest(size_bytes, sim->now(), priority);
     params.request_id = req_id;
     on_complete = [fct, req_id](TimePoint end) { fct->OnComplete(req_id, end); };
   }
-  flows->Emplace<RequestResponse>(sim, flows, server, client, params,
-                                  std::move(on_complete));
+  // Fire-and-forget: the FlowTable owns the flow's lifetime.
+  (void)flows->Emplace<RequestResponse>(sim, flows, server, client, params,
+                                        std::move(on_complete));
 }
 
 }  // namespace bundler

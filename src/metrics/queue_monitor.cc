@@ -7,7 +7,7 @@
 namespace bundler {
 
 QdiscSampler::QdiscSampler(Simulator* sim, const Qdisc* qdisc, TimeDelta interval,
-                           InlineFunction<Rate> rate_provider)
+                           InlineFunction<Rate()> rate_provider)
     : sim_(sim),
       qdisc_(qdisc),
       interval_(interval),

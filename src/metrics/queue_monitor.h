@@ -17,7 +17,7 @@ class QdiscSampler {
   // it may change over time (the sendbox rate does). Stored inline
   // (InlineFunction): constructing a sampler never heap-allocates.
   QdiscSampler(Simulator* sim, const Qdisc* qdisc, TimeDelta interval,
-               InlineFunction<Rate> rate_provider);
+               InlineFunction<Rate()> rate_provider);
   ~QdiscSampler();
   QdiscSampler(const QdiscSampler&) = delete;
   QdiscSampler& operator=(const QdiscSampler&) = delete;
@@ -31,7 +31,7 @@ class QdiscSampler {
   Simulator* sim_;
   const Qdisc* qdisc_;
   TimeDelta interval_;
-  InlineFunction<Rate> rate_provider_;
+  InlineFunction<Rate()> rate_provider_;
   EventId timer_ = kInvalidEventId;
   TimeSeries bytes_;
   TimeSeries delay_ms_;

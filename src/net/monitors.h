@@ -5,17 +5,20 @@
 #ifndef SRC_NET_MONITORS_H_
 #define SRC_NET_MONITORS_H_
 
-#include <functional>
 #include <string>
 
 #include "src/net/link.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/simulator.h"
 #include "src/util/stats.h"
 #include "src/util/timeseries.h"
 
 namespace bundler {
 
-using PacketPredicate = std::function<bool(const Packet&)>;
+// Inline-stored predicate (no heap allocation when a monitor is attached;
+// NetBuilder copies monitor specs during Build, which InlineFunction's
+// copyability supports).
+using PacketPredicate = InlineFunction<bool(const Packet&)>;
 
 // Records (time, queue delay ms) for every matching packet dequeued from a
 // link's queue.

@@ -14,8 +14,9 @@ MultipathLink::MultipathLink(Simulator* sim, std::string name,
     : name_(std::move(name)), mode_(mode) {
   BUNDLER_CHECK(!paths.empty());
   for (size_t i = 0; i < paths.size(); ++i) {
-    auto queue = std::make_unique<DropTailFifo>(paths[i].queue_limit_bytes);
-    paths_.push_back(std::make_unique<Link>(sim, name_ + ".path" + std::to_string(i),
+    // Construction-time only: paths are built once per topology.
+    auto queue = std::make_unique<DropTailFifo>(paths[i].queue_limit_bytes);  // lint:allow(datapath-heap-alloc)
+    paths_.push_back(std::make_unique<Link>(sim, name_ + ".path" + std::to_string(i),  // lint:allow(datapath-heap-alloc)
                                             paths[i].rate, paths[i].prop_delay,
                                             std::move(queue), dst));
   }

@@ -4,10 +4,10 @@
 #ifndef SRC_NET_NODE_H_
 #define SRC_NET_NODE_H_
 
-#include <functional>
 #include <utility>
 
 #include "src/net/packet.h"
+#include "src/sim/inline_function.h"
 
 namespace bundler {
 
@@ -18,14 +18,16 @@ class PacketHandler {
 };
 
 // Adapter turning a lambda into a handler; useful in tests and for small glue
-// nodes.
+// nodes. Backed by InlineFunction (fixed inline storage), so wiring one into
+// a topology never heap-allocates and per-packet dispatch is one indirect
+// call with no std::function bookkeeping.
 class LambdaHandler : public PacketHandler {
  public:
-  explicit LambdaHandler(std::function<void(Packet)> fn) : fn_(std::move(fn)) {}
+  explicit LambdaHandler(InlineFunction<void(Packet)> fn) : fn_(std::move(fn)) {}
   void HandlePacket(Packet pkt) override { fn_(std::move(pkt)); }
 
  private:
-  std::function<void(Packet)> fn_;
+  InlineFunction<void(Packet)> fn_;
 };
 
 // Swallows packets (e.g. traffic addressed past the edge of a scenario).

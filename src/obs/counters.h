@@ -15,6 +15,12 @@
 // Naming convention (README "Observability"): `<kind>.<instance>.<metric>`
 // for per-component counters (e.g. qdisc.bottleneck.deq_pkts) and
 // `<subsystem>.<metric>` for aggregates (e.g. tcp.retransmits).
+//
+// Threading contract: thread-compatible like the Tracer — one registry per
+// Simulator, one driving thread at a time (the trial's worker, or the shard's
+// owner worker under the ShardRunner's static assignment). Counter bumps are
+// therefore plain increments; cross-shard aggregation happens after the run
+// via AccumulateTo, never by sharing a registry.
 #ifndef SRC_OBS_COUNTERS_H_
 #define SRC_OBS_COUNTERS_H_
 

@@ -18,6 +18,14 @@
 //   comp  uint32  component id from RegisterComponent
 //   a,b,c uint64  event-specific payload words (rates in bps, fractions in
 //                 ppm, times in ns, sizes in bytes, counts as plain ints)
+//
+// Threading contract: a Tracer is thread-COMPATIBLE, not thread-safe. Each
+// Simulator owns exactly one, each trial/shard owns its Simulator, and the
+// TrialRunner/ShardRunner ownership structure (annotated with ThreadRole
+// capabilities, see src/util/thread_annotations.h) guarantees one driving
+// thread at a time — which is why the hot path can be a plain unsynchronized
+// store. Never share a Tracer across shards; merge at dump time instead
+// (runner/trial_obs.cc serializes per-shard traces under its own lock).
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 
@@ -187,7 +195,7 @@ class Tracer {
   const std::vector<Component>& components() const { return components_; }
 
   // Oldest-first copy of the live records (test/serialization helper).
-  std::vector<TraceRecord> Snapshot() const;
+  [[nodiscard]] std::vector<TraceRecord> Snapshot() const;
 
   // Serializes components + records as JSONL ({"type":"component",...} lines
   // followed by {"type":"record",...} lines, oldest first), appending to

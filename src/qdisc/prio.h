@@ -3,17 +3,18 @@
 #ifndef SRC_QDISC_PRIO_H_
 #define SRC_QDISC_PRIO_H_
 
-#include <functional>
 #include <vector>
 
 #include "src/qdisc/qdisc.h"
+#include "src/sim/inline_function.h"
 #include "src/util/ring_buffer.h"
 
 namespace bundler {
 
 class StrictPrio : public Qdisc {
  public:
-  using Classifier = std::function<size_t(const Packet&)>;
+  // Inline-stored (no heap allocation when a qdisc is built).
+  using Classifier = InlineFunction<size_t(const Packet&)>;
 
   // `classifier` maps a packet to a band in [0, num_bands); by default the
   // packet's `priority` field is used (clamped to the last band).

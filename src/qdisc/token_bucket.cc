@@ -59,14 +59,14 @@ void TokenBucket::Consume(int64_t bytes, TimePoint now) {
 }
 
 Shaper::Shaper(Simulator* sim, std::unique_ptr<Qdisc> queue, Rate rate, int64_t burst_bytes,
-               std::function<void(Packet)> out)
+               InlineFunction<void(Packet)> out)
     : sim_(sim),
       queue_(std::move(queue)),
       bucket_(rate, burst_bytes, sim->now()),
       out_(std::move(out)) {
   BUNDLER_CHECK(sim_ != nullptr);
   BUNDLER_CHECK(queue_ != nullptr);
-  BUNDLER_CHECK(out_ != nullptr);
+  BUNDLER_CHECK(static_cast<bool>(out_));
 }
 
 Shaper::~Shaper() {
@@ -114,7 +114,10 @@ void Shaper::Pump() {
         break;  // rate is zero; SetRate will restart the pump
       }
       if (rearm_pending_) {
-        sim_->Reschedule(pending_timer_, now + wait);
+        // rearm_pending_ implies the timer is still queued (its callback
+        // clears pending_timer_ before rearm_pending_ can be set), so the
+        // move-in-place cannot miss.
+        BUNDLER_CHECK(sim_->Reschedule(pending_timer_, now + wait));
         rearm_pending_ = false;
       } else if (pending_timer_ == kInvalidEventId) {
         pending_timer_ = sim_->Schedule(wait, [this]() {

@@ -8,10 +8,10 @@
 #ifndef SRC_QDISC_TOKEN_BUCKET_H_
 #define SRC_QDISC_TOKEN_BUCKET_H_
 
-#include <functional>
 #include <memory>
 
 #include "src/qdisc/qdisc.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/simulator.h"
 #include "src/util/rate.h"
 
@@ -50,7 +50,7 @@ class TokenBucket {
 class Shaper {
  public:
   Shaper(Simulator* sim, std::unique_ptr<Qdisc> queue, Rate rate, int64_t burst_bytes,
-         std::function<void(Packet)> out);
+         InlineFunction<void(Packet)> out);
   ~Shaper();
   Shaper(const Shaper&) = delete;
   Shaper& operator=(const Shaper&) = delete;
@@ -69,7 +69,7 @@ class Shaper {
   Simulator* sim_;
   std::unique_ptr<Qdisc> queue_;
   TokenBucket bucket_;
-  std::function<void(Packet)> out_;
+  InlineFunction<void(Packet)> out_;
   EventId pending_timer_ = kInvalidEventId;
   // Set by SetRate while the armed wakeup awaits a fresh deadline; Pump
   // consumes it via Reschedule instead of cancel+push.

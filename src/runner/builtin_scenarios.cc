@@ -22,7 +22,9 @@ void CheckDumbbellIndivisible(const DumbbellConfig& cfg) {
 
 std::string BuildAndRenderDot(const NetBuilder& builder, const std::string& name) {
   Simulator scratch;
-  builder.Build(&scratch);  // validation CHECK-fails on a malformed graph
+  // Build only for its validation side effect (CHECK-fails on a malformed
+  // graph); the materialized Net is deliberately discarded.
+  (void)builder.Build(&scratch);
   return builder.ToDot(name);
 }
 

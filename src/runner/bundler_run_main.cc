@@ -253,10 +253,11 @@ int Main(int argc, char** argv) {
   }
   Scenario to_run = *scenario;
   to_run.spec = spec;
-  auto wall_start = std::chrono::steady_clock::now();
+  // Wall time is reporting-only (stripped from golden comparisons).
+  auto wall_start = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
   std::vector<TrialResult> results = runner.Run(to_run, plan);
   double wall_s = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - wall_start)
+                      std::chrono::steady_clock::now() - wall_start)  // lint:allow(wall-clock)
                       .count();
   ScenarioSummary summary = Aggregate(spec, plan, results);
 

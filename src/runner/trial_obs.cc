@@ -5,6 +5,8 @@
 #include <map>
 #include <mutex>
 
+#include "src/util/thread_annotations.h"
+
 namespace bundler {
 namespace runner {
 namespace {
@@ -16,9 +18,11 @@ struct ArmedState {
   TraceFormat format = TraceFormat::kJsonl;
 };
 
+// Worker threads finish trials (and capture traces) concurrently; the armed
+// config and the capture map are the only cross-trial shared state.
 std::mutex g_mu;
-ArmedState g_armed;
-std::map<std::string, std::string> g_captured;
+ArmedState g_armed GUARDED_BY(g_mu);
+std::map<std::string, std::string> g_captured GUARDED_BY(g_mu);
 
 std::string FormatParam(double v) {
   char buf[64];

@@ -27,7 +27,7 @@ std::vector<TrialResult> TrialRunner::Run(const Scenario& scenario,
 
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex log_mu;
+  std::mutex log_mu;  // lint:allow(raw-mutex) function-local, guards stderr
 
   auto worker = [&]() {
     for (;;) {

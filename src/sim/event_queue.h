@@ -59,13 +59,17 @@ class EventQueue {
   const Profile& profile() const { return profile_; }
 
   // Returns an id usable with Cancel/Reschedule until the event fires.
-  EventId Push(TimePoint time, Callback cb);
+  // [[nodiscard]] across the handle-returning API: dropping a handle is legal
+  // for fire-and-forget one-shots only through Simulator::Schedule (which
+  // documents that choice); at this layer a dropped handle or ignored
+  // Cancel/Reschedule verdict is a bug.
+  [[nodiscard]] EventId Push(TimePoint time, Callback cb);
 
   // Hot-path overload: constructs the callable directly in the pooled slot
   // (no intermediate InlineCallback, one fewer capture copy per schedule).
   template <typename F, typename = std::enable_if_t<
                             !std::is_same_v<std::decay_t<F>, Callback>>>
-  EventId Push(TimePoint time, F&& f) {
+  [[nodiscard]] EventId Push(TimePoint time, F&& f) {
     uint32_t idx = AllocSlot();
     Slot& slot = slots_[idx];
     slot.state = SlotState::kQueued;
@@ -77,17 +81,18 @@ class EventQueue {
   }
 
   // Fires at `first`, then every `period` until cancelled. The id stays
-  // valid across firings (cancel it to stop the timer).
-  EventId PushPeriodic(TimePoint first, TimeDelta period, Callback cb);
+  // valid across firings (cancel it to stop the timer) — dropping it makes
+  // the timer unstoppable, hence [[nodiscard]].
+  [[nodiscard]] EventId PushPeriodic(TimePoint first, TimeDelta period, Callback cb);
 
   // Removes the event from the heap. Returns false (no-op) when the id
   // already fired, was cancelled, or is kInvalidEventId.
-  bool Cancel(EventId id);
+  [[nodiscard]] bool Cancel(EventId id);
 
   // Moves a pending event to `t` with fresh FIFO ordering (as if it were
   // pushed at `t` now). For a periodic event this moves the next firing;
   // later firings follow at t+period. Returns false when the id is dead.
-  bool Reschedule(EventId id, TimePoint t);
+  [[nodiscard]] bool Reschedule(EventId id, TimePoint t);
 
   bool Empty() const { return heap_.empty(); }
   // Time of the earliest pending event; callers must ensure !Empty().
@@ -96,7 +101,7 @@ class EventQueue {
   // Pops the earliest event and returns its callback without invoking it.
   // One-shot events only (CHECK-fails on a periodic head); the Simulator
   // drives DispatchHead, which understands periodic re-arming.
-  Callback PopNext(TimePoint* time_out);
+  [[nodiscard]] Callback PopNext(TimePoint* time_out);
 
   // Pops the earliest event and invokes it. Periodic events are re-armed at
   // time+period (fresh seq) before their callback runs.
@@ -118,10 +123,11 @@ class EventQueue {
   // time order. Cancel/Reschedule of a staged event work mid-batch: Cancel
   // marks the slot and DispatchStaged skips it; Reschedule re-enters the heap
   // with a fresh seq (ordered like a brand-new push, same as the contract).
-  size_t StageBatch(TimePoint t);
+  [[nodiscard]] size_t StageBatch(TimePoint t);
   // Invokes staged event `i`; returns false when it was cancelled or
-  // rescheduled after staging (no callback ran).
-  bool DispatchStaged(size_t i);
+  // rescheduled after staging (no callback ran — the caller's dispatched-
+  // event accounting must not count it).
+  [[nodiscard]] bool DispatchStaged(size_t i);
   // `dispatched` = number of leading staged events the caller consumed.
   void FinishBatch(size_t dispatched);
 

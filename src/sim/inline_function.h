@@ -1,10 +1,15 @@
-// Move-only type-erased R() callable with fixed inline storage and no heap
-// allocation — InlineCallback generalized over the return type. Used where a
-// long-lived component stores a small provider callback (e.g. QdiscSampler's
-// rate provider): std::function would heap-allocate any multi-pointer
-// capture, while this stores it inline and rejects oversized captures at
-// compile time. The capacity is deliberately small (a handful of pointers);
-// to bind more state, park it in the owning object and capture a pointer.
+// Type-erased R(Args...) callable with fixed inline storage and no heap
+// allocation — InlineCallback generalized over the signature. Used where a
+// long-lived component stores a small callback (e.g. QdiscSampler's rate
+// provider, LambdaHandler's packet sink, monitor packet predicates):
+// std::function would heap-allocate any multi-pointer capture, while this
+// stores it inline and rejects oversized captures at compile time. The
+// capacity is deliberately small (a handful of pointers); to bind more
+// state, park it in the owning object and capture a pointer.
+//
+// Unlike InlineCallback this type is COPYABLE (monitor specs are copied out
+// of const NetBuilder during Build), so the callable must be
+// copy-constructible; that is enforced with a static_assert at Emplace.
 #ifndef SRC_SIM_INLINE_FUNCTION_H_
 #define SRC_SIM_INLINE_FUNCTION_H_
 
@@ -16,15 +21,20 @@
 
 namespace bundler {
 
-template <typename R>
-class InlineFunction {
+template <typename Sig>
+class InlineFunction;  // only the R(Args...) specialization exists
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   static constexpr size_t kCapacity = 64;
 
   InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(runtime/explicit): like std::function
 
   template <typename F, typename = std::enable_if_t<
-                            !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+                            !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                            std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
   InlineFunction(F&& f) {  // NOLINT(runtime/explicit): lambda -> function
     Emplace(std::forward<F>(f));
   }
@@ -36,11 +46,17 @@ class InlineFunction {
                   "capture exceeds InlineFunction::kCapacity; indirect "
                   "through the owning object rather than growing the slot");
     static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(std::is_copy_constructible_v<Fn>,
+                  "InlineFunction is copyable, so the callable must be too; "
+                  "park move-only state in the owning object");
+    Reset();
     ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
-    invoke_ = [](void* s) -> R { return (*static_cast<Fn*>(s))(); };
+    invoke_ = [](void* s, Args... args) -> R {
+      return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+    };
     if constexpr (std::is_trivially_copyable_v<Fn> &&
                   std::is_trivially_destructible_v<Fn>) {
-      manage_ = nullptr;
+      manage_ = nullptr;  // raw memcpy moves/copies the storage bytes
     } else {
       manage_ = [](Op op, void* self, void* other) {
         switch (op) {
@@ -50,6 +66,9 @@ class InlineFunction {
           case Op::kMoveFrom:
             ::new (self) Fn(std::move(*static_cast<Fn*>(other)));
             static_cast<Fn*>(other)->~Fn();
+            break;
+          case Op::kCopyFrom:
+            ::new (self) Fn(*static_cast<const Fn*>(other));
             break;
         }
       };
@@ -64,13 +83,22 @@ class InlineFunction {
     }
     return *this;
   }
-  InlineFunction(const InlineFunction&) = delete;
-  InlineFunction& operator=(const InlineFunction&) = delete;
+  InlineFunction(const InlineFunction& o) { CopyFrom(o); }
+  InlineFunction& operator=(const InlineFunction& o) {
+    if (this != &o) {
+      Reset();
+      CopyFrom(o);
+    }
+    return *this;
+  }
   ~InlineFunction() { Reset(); }
 
   explicit operator bool() const { return invoke_ != nullptr; }
 
-  R operator()() { return invoke_(storage_); }
+  R operator()(Args... args) const {
+    return invoke_(const_cast<unsigned char*>(storage_),
+                   std::forward<Args>(args)...);
+  }
 
   void Reset() {
     if (manage_ != nullptr) {
@@ -81,8 +109,8 @@ class InlineFunction {
   }
 
  private:
-  enum class Op { kDestroy, kMoveFrom };
-  using InvokeFn = R (*)(void*);
+  enum class Op { kDestroy, kMoveFrom, kCopyFrom };
+  using InvokeFn = R (*)(void*, Args...);
   using ManageFn = void (*)(Op, void*, void*);
 
   void MoveFrom(InlineFunction& o) {
@@ -95,6 +123,17 @@ class InlineFunction {
     }
     o.invoke_ = nullptr;
     o.manage_ = nullptr;
+  }
+
+  void CopyFrom(const InlineFunction& o) {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kCopyFrom, storage_,
+              const_cast<unsigned char*>(o.storage_));
+    } else if (invoke_ != nullptr) {
+      std::memcpy(storage_, o.storage_, kCapacity);
+    }
   }
 
   alignas(std::max_align_t) unsigned char storage_[kCapacity];

@@ -33,6 +33,7 @@
 #include "src/net/packet.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
+#include "src/util/thread_annotations.h"
 
 namespace bundler {
 
@@ -52,6 +53,12 @@ struct BoundaryMsg {
 // same monotonic-index scheme as util/ring_buffer.h / index_ring.h, with the
 // two indices promoted to atomics on separate cache lines so exactly one
 // producer thread and one consumer thread may use it concurrently.
+//
+// The single-producer/single-consumer contract is encoded as two ThreadRole
+// capabilities (src/util/thread_annotations.h): TryPush REQUIRES the producer
+// role, TryPop the consumer role. Under Clang's -Werror=thread-safety a call
+// site that has not asserted the matching role — i.e. has not stated which
+// side of the ring its thread is — does not compile.
 template <typename T>
 class SpscRing {
  public:
@@ -59,8 +66,13 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  // The two sides of the SPSC contract. Public so callers can name them in
+  // role.Assert() / REQUIRES clauses; they carry no runtime state.
+  ThreadRole producer_role;
+  ThreadRole consumer_role;
+
   // Producer side. Returns false when full (caller decides how loudly).
-  bool TryPush(T&& v) {
+  [[nodiscard]] bool TryPush(T&& v) REQUIRES(producer_role) {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) > mask_) {
       return false;
@@ -71,7 +83,7 @@ class SpscRing {
   }
 
   // Consumer side. Returns false when empty.
-  bool TryPop(T* out) {
+  [[nodiscard]] bool TryPop(T* out) REQUIRES(consumer_role) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) {
       return false;
@@ -126,6 +138,10 @@ class ShardChannel : public BoundarySink {
   }
 
   void SendBoundary(TimePoint sent, TimeDelta prop_delay, Packet pkt) override {
+    // Producer role held structurally: the sending Link lives in the source
+    // shard, and ShardRunner's static shard->worker map means exactly one
+    // worker ever drives that shard's simulator (and with it this method).
+    ring_.producer_role.Assert();
     BUNDLER_CHECK_MSG(prop_delay.nanos() == spec_.lookahead_ns,
                       "shard channel %u: boundary link delay changed under us",
                       spec_.id);
@@ -151,14 +167,22 @@ class ShardChannel : public BoundarySink {
         spec_.id, ring_.capacity());
   }
 
-  bool TryPop(BoundaryMsg* out) { return ring_.TryPop(out); }
+  // Consumer side; only the destination shard's owning worker may call this.
+  // Name the capability via consumer_role() to Assert it at the call site.
+  [[nodiscard]] bool TryPop(BoundaryMsg* out) REQUIRES(ring_.consumer_role) {
+    return ring_.TryPop(out);
+  }
+
+  const ThreadRole& consumer_role() const RETURN_CAPABILITY(ring_.consumer_role) {
+    return ring_.consumer_role;
+  }
 
   const Spec& spec() const { return spec_; }
 
  private:
   Spec spec_;
-  uint64_t next_seq_ = 0;  // producer-side only
-  uint64_t* ctr_msgs_ = nullptr;
+  uint64_t next_seq_ GUARDED_BY(ring_.producer_role) = 0;
+  uint64_t* ctr_msgs_ = nullptr;  // bumped only on the producer side
   uint64_t* ctr_bytes_ = nullptr;
   SpscRing<BoundaryMsg> ring_;
 };
@@ -168,7 +192,8 @@ class ShardChannel : public BoundarySink {
 class ShardChannelSet {
  public:
   ShardChannel* Add(const ShardChannel::Spec& spec) {
-    channels_.push_back(std::make_unique<ShardChannel>(spec));
+    // Construction-time only: channels are created while wiring the plan.
+    channels_.push_back(std::make_unique<ShardChannel>(spec));  // lint:allow(datapath-heap-alloc)
     return channels_.back().get();
   }
   const std::vector<std::unique_ptr<ShardChannel>>& channels() const {

@@ -37,7 +37,8 @@ ShardRunner::ShardRunner(std::vector<Simulator*> sims,
   BUNDLER_CHECK(!sims.empty());
   shards_.reserve(sims.size());
   for (Simulator* sim : sims) {
-    auto s = std::make_unique<Shard>();
+    // Construction-time only: shard state is built before workers spawn.
+    auto s = std::make_unique<Shard>();  // lint:allow(datapath-heap-alloc)
     s->sim = sim;
     shards_.push_back(std::move(s));
   }
@@ -48,13 +49,20 @@ ShardRunner::ShardRunner(std::vector<Simulator*> sims,
                     spec.src_shard < static_cast<int>(shards_.size()));
       BUNDLER_CHECK(spec.dst_shard >= 0 &&
                     spec.dst_shard < static_cast<int>(shards_.size()));
-      Shard& dst = *shards_[static_cast<size_t>(spec.dst_shard)];
-      dst.in.push_back(InChannel{
-          ch.get(), &shards_[static_cast<size_t>(spec.src_shard)]->clock_ns,
-          spec.lookahead_ns, spec.dst});
-      dst.pending.reserve(ch->spec().capacity);
+      WireInChannel(*shards_[static_cast<size_t>(spec.dst_shard)], ch.get());
     }
   }
+}
+
+void ShardRunner::WireInChannel(Shard& dst, ShardChannel* ch) {
+  // Construction is single-threaded: no worker exists yet, so the caller
+  // trivially owns every shard.
+  dst.owner_role.Assert();
+  const ShardChannel::Spec& spec = ch->spec();
+  dst.in.push_back(InChannel{
+      ch, &shards_[static_cast<size_t>(spec.src_shard)]->clock_ns,
+      spec.lookahead_ns, spec.dst});
+  dst.pending.reserve(spec.capacity);
 }
 
 void ShardRunner::PendingPush(Shard& s, BoundaryMsg m) {
@@ -80,8 +88,11 @@ bool ShardRunner::Step(Shard& s, int64_t until_ns) {
         in.src_clock->load(std::memory_order_acquire) + in.lookahead_ns;
     bound = std::min(bound, b);
   }
-  // 2. Drain rings into the deterministic pending heap.
+  // 2. Drain rings into the deterministic pending heap. This shard is every
+  // in-channel's single consumer, and the caller's REQUIRES(s.owner_role)
+  // makes this worker the shard's single driver — so the consumer role holds.
   for (const InChannel& in : s.in) {
+    in.ch->consumer_role().Assert();
     BoundaryMsg m;
     while (in.ch->TryPop(&m)) {
       PendingPush(s, std::move(m));
@@ -141,6 +152,8 @@ void ShardRunner::Worker(int w, TimePoint until) {
     bool any_progress = false;
     for (int g = w; g < total; g += stride) {
       Shard& s = *shards_[static_cast<size_t>(g)];
+      // Static assignment: shard g is driven only by worker g % stride — us.
+      s.owner_role.Assert();
       if (s.done) {
         continue;
       }
@@ -166,6 +179,7 @@ void ShardRunner::RunUntil(TimePoint until) {
     return;
   }
   for (auto& s : shards_) {
+    s->owner_role.Assert();  // workers have not been spawned yet
     s->done = false;
     s->run_start_events = s->sim->events_dispatched();
     s->sim->trace().Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunStart,
@@ -183,6 +197,7 @@ void ShardRunner::RunUntil(TimePoint until) {
     t.join();
   }
   for (auto& s : shards_) {
+    s->owner_role.Assert();  // workers have all been joined
     s->sim->trace().Trace(obs::TraceCat::kSim, obs::TraceEv::kSimRunEnd,
                           s->sim->sim_comp(), s->sim->now(),
                           s->sim->events_dispatched() - s->run_start_events,

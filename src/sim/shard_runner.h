@@ -35,6 +35,7 @@
 
 #include "src/sim/shard_channel.h"
 #include "src/sim/simulator.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/time.h"
 
 namespace bundler {
@@ -67,22 +68,32 @@ class ShardRunner {
     PacketHandler* dst;
   };
 
+  // Everything below `owner_role` is owner-worker state: the static shard ->
+  // worker map (shard i -> worker i % K) gives each shard exactly one driving
+  // thread per RunUntil, and that ownership is what the role capability
+  // encodes. Only `clock_ns` is shared — it is the published horizon peers
+  // read with acquire ordering, and stays an atomic outside the role.
   struct Shard {
-    Simulator* sim = nullptr;
-    std::vector<InChannel> in;
-    std::vector<BoundaryMsg> pending;  // min-heap (deliver, sent, channel, seq)
+    Simulator* sim = nullptr;  // driven only by the owner worker
     alignas(64) std::atomic<int64_t> clock_ns{0};
-    bool done = false;          // owner-worker local, per round
-    uint64_t run_start_events = 0;
+    ThreadRole owner_role;
+    std::vector<InChannel> in GUARDED_BY(owner_role);
+    // Min-heap (deliver, sent, channel, seq).
+    std::vector<BoundaryMsg> pending GUARDED_BY(owner_role);
+    bool done GUARDED_BY(owner_role) = false;  // per round
+    uint64_t run_start_events GUARDED_BY(owner_role) = 0;
   };
 
   // One bounded step of shard g: refresh the bound, drain rings, dispatch up
   // to `burst` events/arrivals below the bound, republish the clock. Returns
   // true when any event was dispatched.
-  bool Step(Shard& s, int64_t until_ns);
+  bool Step(Shard& s, int64_t until_ns) REQUIRES(s.owner_role);
   void Worker(int w, TimePoint until);
-  void PendingPush(Shard& s, BoundaryMsg m);
-  BoundaryMsg PendingPop(Shard& s);
+  void PendingPush(Shard& s, BoundaryMsg m) REQUIRES(s.owner_role);
+  BoundaryMsg PendingPop(Shard& s) REQUIRES(s.owner_role);
+  // Construction-time wiring of one boundary ring into its destination shard
+  // (single-threaded; asserts the not-yet-contended owner role internally).
+  void WireInChannel(Shard& dst, ShardChannel* ch);
 
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;

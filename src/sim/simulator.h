@@ -47,16 +47,23 @@ class Simulator {
     return queue_.Push(t, std::forward<F>(cb));
   }
   // Schedule `cb` every `period`, first firing after `first_delay`. The
-  // returned id stays valid across firings; Cancel stops the timer.
-  EventId SchedulePeriodic(TimeDelta first_delay, TimeDelta period,
-                           EventQueue::Callback cb);
+  // returned id stays valid across firings; Cancel stops the timer — dropping
+  // it makes the timer unstoppable, hence [[nodiscard]]. (Schedule/ScheduleAt
+  // stay discardable on purpose: fire-and-forget one-shots are the hot-path
+  // idiom, and a dropped one-shot id is merely an un-cancellable event.)
+  [[nodiscard]] EventId SchedulePeriodic(TimeDelta first_delay,
+                                         TimeDelta period,
+                                         EventQueue::Callback cb);
   // Move a pending event to a new deadline (>= now). Returns false when the
   // event already fired or was cancelled (the id is then dead).
-  bool Reschedule(EventId id, TimePoint t);
-  bool RescheduleAfter(EventId id, TimeDelta delay) {
+  [[nodiscard]] bool Reschedule(EventId id, TimePoint t);
+  [[nodiscard]] bool RescheduleAfter(EventId id, TimeDelta delay) {
     return Reschedule(id, now_ + delay);
   }
-  void Cancel(EventId id) { queue_.Cancel(id); }
+  // Cancel-if-pending. Unlike EventQueue::Cancel this is NOT [[nodiscard]]:
+  // "stop it if it has not fired yet" is a sanctioned idiom here (timers race
+  // with the events they guard), and the bool is informational.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   // Run until the queue drains or the clock would pass `until`.
   void RunUntil(TimePoint until);

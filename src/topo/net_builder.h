@@ -127,8 +127,9 @@ class NetBuilder {
 
   // Validates the declared graph and materializes it into `sim`. CHECK-fails
   // with a readable message on graph errors. May be called more than once
-  // (each call builds an independent Net).
-  std::unique_ptr<Net> Build(Simulator* sim) const;
+  // (each call builds an independent Net). [[nodiscard]]: the Net owns every
+  // constructed component; dropping it tears the topology down immediately.
+  [[nodiscard]] std::unique_ptr<Net> Build(Simulator* sim) const;
 
   // Sharded materialization: every node's components are constructed into the
   // simulator of its group (`sims[plan.group_of(node)]`), and each boundary
@@ -137,9 +138,9 @@ class NetBuilder {
   // assignment — follows declaration order exactly as in the unsharded Build,
   // so the per-shard event sequences depend only on the plan, never on how
   // many workers later execute the shards.
-  std::unique_ptr<Net> Build(const PartitionPlan& plan,
-                             const std::vector<Simulator*>& sims,
-                             ShardChannelSet* channels) const;
+  [[nodiscard]] std::unique_ptr<Net> Build(
+      const PartitionPlan& plan, const std::vector<Simulator*>& sims,
+      ShardChannelSet* channels) const;
 
  private:
   friend class Net;

@@ -57,15 +57,15 @@ struct PartitionPlan {
 
 // Derives the finest partition consistent with the co-location rules above
 // (union-find over the declared graph). Always succeeds on a valid graph.
-PartitionPlan PartitionTopology(const NetBuilder& builder);
+[[nodiscard]] PartitionPlan PartitionTopology(const NetBuilder& builder);
 
 // Validates a caller-supplied assignment against the same rules and returns
 // the corresponding plan. CHECK-fails with a readable message on an empty
 // group, a cross-group wire/multipath/zero-delay link, a cross-group
 // link-scheduled edge, or a bundle spanning groups. Exists so tests can probe
 // the validation (death tests) and so presets can pin hand-made partitions.
-PartitionPlan PartitionFromAssignment(const NetBuilder& builder,
-                                      const std::vector<int>& group_of_node);
+[[nodiscard]] PartitionPlan PartitionFromAssignment(
+    const NetBuilder& builder, const std::vector<int>& group_of_node);
 
 }  // namespace bundler
 

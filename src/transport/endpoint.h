@@ -23,6 +23,7 @@
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
 #include "src/util/flat_map.h"
+#include "src/util/thread_annotations.h"
 
 namespace bundler {
 
@@ -67,36 +68,45 @@ class Host : public PacketHandler {
 // rounded up to a 64-byte size class; Release() destroys the object and
 // threads its block onto a per-class free list, so steady-state churn recycles
 // blocks instead of growing the arena — zero heap allocations per
-// create/release cycle once the working set is warm. Release/Emplace are
-// mutex-guarded because in a sharded run flows complete concurrently in
-// different shards. Reclaim must be enabled before the first Emplace so every
-// owned object has a header.
+// create/release cycle once the working set is warm. Every table structure is
+// GUARDED_BY(mu_) because in a sharded run flows complete concurrently in
+// different shards; object construction always runs outside the lock (flow
+// constructors send packets and schedule events, and must not hold the table
+// mutex while doing so). Reclaim must be enabled before the first Emplace so
+// every owned object has a header.
 class FlowTable {
  public:
   FlowTable() = default;
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
   ~FlowTable() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = owned_.size(); i > 0; --i) {
       owned_[i - 1].destroy(owned_[i - 1].obj);
     }
   }
 
-  uint64_t AllocFlowId() { return next_flow_id_++; }
+  [[nodiscard]] uint64_t AllocFlowId() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_flow_id_++;
+  }
 
   template <typename T, typename... Args>
-  T* Emplace(Args&&... args) {
+  [[nodiscard]] T* Emplace(Args&&... args) {
     static_assert(sizeof(T) <= kBlockBytes, "flow object larger than an arena block");
     static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
                   "arena blocks are new[]-aligned");
     if (!reclaim_) {
-      void* mem = Allocate(sizeof(T), alignof(T));
+      void* mem;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem = Allocate(sizeof(T), alignof(T));
+      }
       T* obj = ::new (mem) T(std::forward<Args>(args)...);
+      std::lock_guard<std::mutex> lock(mu_);
       owned_.push_back(Owned{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
       return obj;
     }
-    // Construction runs outside the lock: flow constructors send packets and
-    // schedule events, and must not hold the table mutex while doing so.
     void* mem = AllocateReclaimable(sizeof(T));
     T* obj = ::new (mem) T(std::forward<Args>(args)...);
     {
@@ -107,13 +117,17 @@ class FlowTable {
     return obj;
   }
 
-  size_t size() const { return owned_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return owned_.size();
+  }
 
   // --- Arena reclamation (opt-in) ---
   // Must be called before the first Emplace (headers are laid down at
   // allocation time). Scenarios that enable it are responsible for only
   // Releasing objects that no live event still references.
   void EnableReclaim() {
+    std::lock_guard<std::mutex> lock(mu_);
     BUNDLER_CHECK_MSG(owned_.empty(),
                       "EnableReclaim must run before the first Emplace");
     reclaim_ = true;
@@ -144,9 +158,18 @@ class FlowTable {
     ++releases_;
   }
 
-  uint64_t releases() const { return releases_; }
-  uint64_t reuses() const { return reuses_; }
-  size_t arena_blocks() const { return blocks_.size(); }
+  uint64_t releases() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return releases_;
+  }
+  uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
+  size_t arena_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.size();
+  }
 
  private:
   struct Owned {
@@ -193,10 +216,11 @@ class FlowTable {
     return static_cast<unsigned char*>(block) + sizeof(ReclaimHeader);
   }
 
-  void* Allocate(size_t bytes, size_t align) {
+  void* Allocate(size_t bytes, size_t align) REQUIRES(mu_) {
     size_t at = (arena_used_ + align - 1) & ~(align - 1);
     if (blocks_.empty() || at + bytes > kBlockBytes) {
-      blocks_.push_back(std::make_unique<unsigned char[]>(kBlockBytes));
+      // Amortized arena growth; steady state recycles via free lists.
+      blocks_.push_back(std::make_unique<unsigned char[]>(kBlockBytes));  // lint:allow(datapath-heap-alloc)
       at = 0;
     }
     arena_used_ = at + bytes;
@@ -207,16 +231,19 @@ class FlowTable {
   // object bigger than a block would be a bug worth hearing about loudly.
   static constexpr size_t kBlockBytes = 256 * 1024;
 
-  uint64_t next_flow_id_ = 1;
-  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
-  size_t arena_used_ = 0;
-  std::vector<Owned> owned_;
-
+  // Write-once during single-threaded setup (EnableReclaim precedes the first
+  // Emplace by contract), read-only once flows churn — safe unguarded.
   bool reclaim_ = false;
-  std::mutex mu_;
-  std::vector<void*> free_lists_;  // indexed by size class, intrusive links
-  uint64_t releases_ = 0;
-  uint64_t reuses_ = 0;
+
+  mutable std::mutex mu_;
+  uint64_t next_flow_id_ GUARDED_BY(mu_) = 1;
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_ GUARDED_BY(mu_);
+  size_t arena_used_ GUARDED_BY(mu_) = 0;
+  std::vector<Owned> owned_ GUARDED_BY(mu_);
+  // Indexed by size class, intrusive links through the dead blocks.
+  std::vector<void*> free_lists_ GUARDED_BY(mu_);
+  uint64_t releases_ GUARDED_BY(mu_) = 0;
+  uint64_t reuses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bundler

@@ -16,7 +16,7 @@ constexpr TimeDelta kReceiverReclaimLinger = TimeDelta::Seconds(2);
 }  // namespace
 
 TcpReceiver::TcpReceiver(Host* host, uint64_t flow_id,
-                         std::function<void(TimePoint)> on_complete)
+                         InlineFunction<void(TimePoint)> on_complete)
     : host_(host), flow_id_(flow_id), on_complete_(std::move(on_complete)) {
   host_->Register(flow_id_, this);
 }
@@ -493,7 +493,7 @@ void TcpSender::OnAck(const Packet& ack) {
 
 TcpSender* CreateTcpFlow(FlowTable* table, Host* src, Host* dst,
                          const TcpFlowParams& params,
-                         std::function<void(TimePoint)> on_receiver_complete) {
+                         InlineFunction<void(TimePoint)> on_receiver_complete) {
   uint64_t flow_id = table->AllocFlowId();
   FlowKey key;
   key.src = src->address();
@@ -514,7 +514,7 @@ TcpSender* CreateTcpFlow(FlowTable* table, Host* src, Host* dst,
 }
 
 TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
-                        std::function<void(TimePoint)> on_receiver_complete) {
+                        InlineFunction<void(TimePoint)> on_receiver_complete) {
   TcpSender* sender = CreateTcpFlow(table, src, dst, params, std::move(on_receiver_complete));
   sender->Start();
   return sender;

@@ -6,11 +6,11 @@
 #ifndef SRC_TRANSPORT_TCP_FLOW_H_
 #define SRC_TRANSPORT_TCP_FLOW_H_
 
-#include <functional>
 #include <memory>
 
 #include "src/cc/cc.h"
 #include "src/net/node.h"
+#include "src/sim/inline_function.h"
 #include "src/transport/endpoint.h"
 #include "src/transport/sack_scoreboard.h"
 #include "src/util/interval_set.h"
@@ -32,7 +32,7 @@ struct TcpFlowParams {
 class TcpReceiver : public PacketHandler {
  public:
   // `on_complete(now)` fires once, when the last byte arrives.
-  TcpReceiver(Host* host, uint64_t flow_id, std::function<void(TimePoint)> on_complete);
+  TcpReceiver(Host* host, uint64_t flow_id, InlineFunction<void(TimePoint)> on_complete);
 
   void HandlePacket(Packet pkt) override;
 
@@ -49,7 +49,7 @@ class TcpReceiver : public PacketHandler {
   Host* host_;
   uint64_t flow_id_;
   FlowTable* reclaim_ = nullptr;
-  std::function<void(TimePoint)> on_complete_;
+  InlineFunction<void(TimePoint)> on_complete_;
   int64_t cum_expected_ = 0;
   SeqIntervalSet out_of_order_;  // contiguous runs above the cumulative point
   int64_t bytes_received_ = 0;
@@ -194,11 +194,11 @@ class TcpSender : public PacketHandler {
 // flows).
 TcpSender* CreateTcpFlow(FlowTable* table, Host* src, Host* dst,
                          const TcpFlowParams& params,
-                         std::function<void(TimePoint)> on_receiver_complete);
+                         InlineFunction<void(TimePoint)> on_receiver_complete);
 
 // CreateTcpFlow + immediate Start().
 TcpSender* StartTcpFlow(FlowTable* table, Host* src, Host* dst, const TcpFlowParams& params,
-                        std::function<void(TimePoint)> on_receiver_complete);
+                        InlineFunction<void(TimePoint)> on_receiver_complete);
 
 }  // namespace bundler
 

@@ -88,7 +88,8 @@ UdpPingPongClient* StartUdpPingPong(FlowTable* table, Host* client_host, Host* s
   key.src_port = client_host->AllocPort();
   key.dst_port = server_host->AllocPort();
   key.protocol = 17;
-  table->Emplace<UdpEchoServer>(server_host, flow_id);
+  // Fire-and-forget: the FlowTable owns the echo server's lifetime.
+  (void)table->Emplace<UdpEchoServer>(server_host, flow_id);
   auto* client = table->Emplace<UdpPingPongClient>(client_host, flow_id, key);
   client->Start();
   return client;

@@ -1,0 +1,106 @@
+// Clang thread-safety annotation shim (the standard GUARDED_BY/REQUIRES
+// macro set), plus the project's phantom ThreadRole capability.
+//
+// Under Clang the library is compiled with -Wthread-safety
+// -Werror=thread-safety (see CMakeLists.txt), so the annotations are a
+// compile-time proof obligation: a mutation of a GUARDED_BY member outside
+// its capability, or a call to a REQUIRES function without it, is a build
+// error. Under GCC (which has no thread-safety analysis) every macro expands
+// to nothing and the annotated code compiles unchanged.
+//
+// Conventions in this codebase (README "Static analysis"):
+//  - Real mutexes: the mutex member is declared last among the fields it
+//    guards; every guarded field carries GUARDED_BY(mu_). Raw std::mutex
+//    declarations without annotations are rejected by scripts/bundler_lint.py
+//    (rule raw-mutex).
+//  - Thread roles: lock-free single-producer/single-consumer structures
+//    (SpscRing) and thread-affine owner state (ShardRunner's per-shard Shard)
+//    use a ThreadRole phantom capability. The role is never "locked" at
+//    runtime — holding it is a structural property (the partition's static
+//    shard->worker map, the topology's producer-side link ownership). Code on
+//    the privileged side calls role.Assert() (ASSERT_CAPABILITY: tells the
+//    analysis the capability is held from here to the end of the function,
+//    costs nothing at runtime), and the guarded API carries REQUIRES(role).
+//    Any new call site is therefore forced to state — visibly, next to the
+//    call — which thread it believes it is running on.
+//  - Thread-compatible simulation state (Tracer, CounterRegistry, EventQueue,
+//    every network component): owned by exactly one Simulator, which is owned
+//    by exactly one trial/shard and driven by exactly one worker thread at a
+//    time. These are deliberately NOT annotated: their single-threadedness is
+//    a property of the TrialRunner/ShardRunner ownership structure, which is
+//    where the annotations live.
+#ifndef SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define CAPABILITY(x) BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BUNDLER_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace bundler {
+
+// Phantom capability naming a thread role ("the producer side of this ring",
+// "the worker that owns this shard"). It has no runtime state: Assert() is
+// how privileged code declares — checkably, at the call site — that the
+// structural ownership rules put it on the right thread. See the header
+// comment for the convention.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  // Declares that the calling code holds this role for the rest of the
+  // enclosing function. Zero-cost; exists purely for the analysis.
+  void Assert() const ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace bundler
+
+#endif  // SRC_UTIL_THREAD_ANNOTATIONS_H_

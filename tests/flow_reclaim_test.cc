@@ -90,8 +90,8 @@ TEST(FlowReclaimTest, LegacyModeOwnsObjectsUntilTableDestruction) {
   int live = 0;
   {
     FlowTable table;
-    table.Emplace<Tracked>(&live);
-    table.Emplace<Tracked>(&live);
+    (void)table.Emplace<Tracked>(&live);
+    (void)table.Emplace<Tracked>(&live);
     EXPECT_FALSE(table.reclaim_enabled());
     EXPECT_EQ(live, 2);
   }
@@ -101,7 +101,7 @@ TEST(FlowReclaimTest, LegacyModeOwnsObjectsUntilTableDestruction) {
 TEST(FlowReclaimDeathTest, EnableAfterEmplaceDies) {
   FlowTable table;
   int live = 0;
-  table.Emplace<Tracked>(&live);
+  (void)table.Emplace<Tracked>(&live);
   EXPECT_DEATH(table.EnableReclaim(), "before the first Emplace");
 }
 

@@ -34,7 +34,7 @@ TEST(NetBuilderValidationTest, DuplicateSiteIdsDie) {
         NetBuilder::NodeId r = b.AddRouter("r");
         (void)r;
         Simulator sim;
-        b.Build(&sim);
+        (void)b.Build(&sim);
       },
       "share site id 10");
 }

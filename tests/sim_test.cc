@@ -41,9 +41,9 @@ namespace {
 TEST(EventQueueTest, OrdersByTime) {
   EventQueue q;
   std::vector<int> order;
-  q.Push(TimePoint::FromNanos(30), [&]() { order.push_back(3); });
-  q.Push(TimePoint::FromNanos(10), [&]() { order.push_back(1); });
-  q.Push(TimePoint::FromNanos(20), [&]() { order.push_back(2); });
+  (void)q.Push(TimePoint::FromNanos(30), [&]() { order.push_back(3); });
+  (void)q.Push(TimePoint::FromNanos(10), [&]() { order.push_back(1); });
+  (void)q.Push(TimePoint::FromNanos(20), [&]() { order.push_back(2); });
   TimePoint t;
   while (!q.Empty()) {
     q.PopNext(&t)();
@@ -55,7 +55,7 @@ TEST(EventQueueTest, FifoAtSameTimestamp) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.Push(TimePoint::FromNanos(5), [&order, i]() { order.push_back(i); });
+    (void)q.Push(TimePoint::FromNanos(5), [&order, i]() { order.push_back(i); });
   }
   TimePoint t;
   while (!q.Empty()) {
@@ -70,8 +70,8 @@ TEST(EventQueueTest, CancelSkipsEvent) {
   EventQueue q;
   int fired = 0;
   EventId id = q.Push(TimePoint::FromNanos(1), [&]() { ++fired; });
-  q.Push(TimePoint::FromNanos(2), [&]() { ++fired; });
-  q.Cancel(id);
+  (void)q.Push(TimePoint::FromNanos(2), [&]() { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
   TimePoint t;
   while (!q.Empty()) {
     q.PopNext(&t)();
@@ -81,8 +81,8 @@ TEST(EventQueueTest, CancelSkipsEvent) {
 
 TEST(EventQueueTest, CancelUnknownIdIsNoop) {
   EventQueue q;
-  q.Cancel(123456);
-  q.Cancel(kInvalidEventId);
+  EXPECT_FALSE(q.Cancel(123456));
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
   EXPECT_TRUE(q.Empty());
 }
 
@@ -147,7 +147,7 @@ TEST(EventQueueTest, ConstEmptyAndNextTime) {
   EventQueue q;
   const EventQueue& cq = q;  // the inspection API must be genuinely const
   EXPECT_TRUE(cq.Empty());
-  q.Push(TimePoint::FromNanos(7), []() {});
+  (void)q.Push(TimePoint::FromNanos(7), []() {});
   EXPECT_FALSE(cq.Empty());
   EXPECT_EQ(cq.NextTime(), TimePoint::FromNanos(7));
 }
@@ -172,7 +172,7 @@ TEST(EventQueueTest, StaleIdAfterSlotReuseIsNoop) {
   ASSERT_TRUE(q.Cancel(first));
   // The freed slot is recycled; the old id must not cancel the new event.
   int fired = 0;
-  q.Push(TimePoint::FromNanos(2), [&]() { ++fired; });
+  (void)q.Push(TimePoint::FromNanos(2), [&]() { ++fired; });
   EXPECT_FALSE(q.Cancel(first));
   TimePoint t;
   while (!q.Empty()) {
@@ -356,7 +356,7 @@ TEST(SimulatorTest, SteadyStateSchedulingDoesNotAllocate) {
   EventId periodic =
       sim.SchedulePeriodic(TimeDelta::Micros(50), TimeDelta::Micros(50), [&]() {
         if (++chain <= 100) {
-          sim.RescheduleAfter(movable, TimeDelta::Seconds(3600));
+          EXPECT_TRUE(sim.RescheduleAfter(movable, TimeDelta::Seconds(3600)));
           for (int i = 0; i < kPending / 2; ++i) {
             sim.Schedule(TimeDelta::Micros(1 + i % 7), []() {});
           }
@@ -448,9 +448,9 @@ TEST(EventQueueTest, FinishBatchRequeuesUnconsumedStagedEventsInOrder) {
   EventQueue q;
   std::vector<int> fired;
   for (int i = 0; i < 5; ++i) {
-    q.Push(TimePoint::FromNanos(100), [&fired, i]() { fired.push_back(i); });
+    (void)q.Push(TimePoint::FromNanos(100), [&fired, i]() { fired.push_back(i); });
   }
-  q.Push(TimePoint::FromNanos(200), [&fired]() { fired.push_back(99); });
+  (void)q.Push(TimePoint::FromNanos(200), [&fired]() { fired.push_back(99); });
   ASSERT_EQ(q.StageBatch(TimePoint::FromNanos(100)), 5u);
   EXPECT_TRUE(q.DispatchStaged(0));
   EXPECT_TRUE(q.DispatchStaged(1));
