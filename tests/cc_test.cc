@@ -435,8 +435,8 @@ TEST_P(BundleCcPropertyTest, ResetIsIdempotent) {
 INSTANTIATE_TEST_SUITE_P(AllBundleCcs, BundleCcPropertyTest,
                          ::testing::Values(BundleCcType::kCopa, BundleCcType::kBasicDelay,
                                            BundleCcType::kBbr),
-                         [](const auto& info) {
-                           return std::string(BundleCcTypeName(info.param));
+                         [](const auto& tpi) {
+                           return std::string(BundleCcTypeName(tpi.param));
                          });
 
 // Host CC property sweep.
@@ -465,8 +465,8 @@ TEST_P(HostCcPropertyTest, WindowStaysPositiveUnderMixedSignals) {
 INSTANTIATE_TEST_SUITE_P(AllHostCcs, HostCcPropertyTest,
                          ::testing::Values(HostCcType::kCubic, HostCcType::kNewReno,
                                            HostCcType::kBbr, HostCcType::kConstCwnd),
-                         [](const auto& info) {
-                           return std::string(HostCcTypeName(info.param));
+                         [](const auto& tpi) {
+                           return std::string(HostCcTypeName(tpi.param));
                          });
 
 }  // namespace

@@ -18,7 +18,7 @@ namespace bundler {
 namespace {
 
 struct Tracked {
-  explicit Tracked(int* live) : live(live) { ++*live; }
+  explicit Tracked(int* live_counter) : live(live_counter) { ++*live_counter; }
   ~Tracked() { --*live; }
   int* live;
   char payload[40] = {};
@@ -62,7 +62,7 @@ TEST(FlowReclaimTest, ReleaseRecyclesBlocksThroughTheFreeList) {
 
 TEST(FlowReclaimTest, SizeClassesKeepIndependentFreeLists) {
   struct Big {
-    explicit Big(int* live) : live(live) { ++*live; }
+    explicit Big(int* live_counter) : live(live_counter) { ++*live_counter; }
     ~Big() { --*live; }
     int* live;
     char payload[200] = {};

@@ -293,9 +293,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepParam{20, 24}, SweepParam{20, 96}, SweepParam{50, 24},
                       SweepParam{50, 48}, SweepParam{50, 96}, SweepParam{100, 24},
                       SweepParam{100, 96}, SweepParam{300, 12}),
-    [](const auto& info) {
-      return "rtt" + std::to_string(info.param.rtt_ms) + "ms_rate" +
-             std::to_string(static_cast<int>(info.param.rate_mbps)) + "mbps";
+    [](const auto& tpi) {
+      return "rtt" + std::to_string(tpi.param.rtt_ms) + "ms_rate" +
+             std::to_string(static_cast<int>(tpi.param.rate_mbps)) + "mbps";
     });
 
 }  // namespace

@@ -179,8 +179,8 @@ TEST_P(QdiscPropertyTest, RespectsConfiguredLimit) {
 
 INSTANTIATE_TEST_SUITE_P(AllQdiscs, QdiscPropertyTest,
                          ::testing::ValuesIn(AllQdiscs()),
-                         [](const ::testing::TestParamInfo<QdiscCase>& info) {
-                           return info.param.name;
+                         [](const ::testing::TestParamInfo<QdiscCase>& tpi) {
+                           return tpi.param.name;
                          });
 
 // ---------------------------------------------------------------------------
