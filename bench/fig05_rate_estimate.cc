@@ -1,11 +1,17 @@
 // Figure 5: accuracy of Bundler's receive-rate estimate. The paper reports
 // that 80% of receive-rate estimates fall within 4 Mbit/s of the value
-// measured at the bottleneck router, across 90 traces spanning link delays
-// {20, 50, 100 ms} and rates {24, 48, 96 Mbit/s}.
+// measured at the bottleneck router, across traces spanning link delays
+// {20, 50, 100 ms} and rates {24, 48, 96 Mbit/s}. Thin wrapper over the
+// "fig05_rate_estimate" registered scenario (src/runner/scenario_fig05.cc),
+// which owns the sweep grid, the epoch-sample plumbing, and the
+// ground-truth comparison; Figure 6 keeps the standalone estimate_sweep.h
+// driver for its RTT panel and example segment.
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "bench/estimate_sweep.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/util/table.h"
 
 namespace bundler {
 namespace {
@@ -15,22 +21,24 @@ void Run() {
                      "80% of receive-rate estimates within 4 Mbit/s of the actual "
                      "value at the bottleneck");
 
-  bench::EstimateSweepResult r = bench::RunEstimateSweep();
+  runner::ScenarioSummary summary = bench::RunRegisteredScenario("fig05_rate_estimate");
 
-  bench::PrintSegment("receive rate (Mbit/s)", r.rate_segment);
-
-  std::printf("\ndistribution of (estimated - actual) receive rate, %zu samples:\n",
-              r.rate_diff_mbps.count());
-  Table t({"quantile", "diff (Mbit/s)"});
-  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
-    char label[8];
-    std::snprintf(label, sizeof(label), "p%d", static_cast<int>(q * 100));
-    t.AddRow({label,
-              Table::Num(r.rate_diff_mbps.Quantile(q))});
+  Table t({"delay (ms)", "rate (Mbit/s)", "diff p50 (Mbit/s)", "within 4 Mbit/s",
+           "samples"});
+  double within_sum = 0;
+  double samples_sum = 0;
+  for (const runner::CellSummary& cell : summary.cells) {
+    double n = cell.scalars.at("rate_samples").mean * static_cast<double>(cell.trials);
+    within_sum += cell.scalars.at("rate_within_4_frac").mean * n;
+    samples_sum += n;
+    t.AddRow({Table::Num(cell.params[0].second, 0), Table::Num(cell.params[1].second, 0),
+              Table::Num(cell.scalars.at("rate_diff_p50_mbps").mean, 2),
+              Table::Num(cell.scalars.at("rate_within_4_frac").mean * 100, 1),
+              Table::Num(n, 0)});
   }
   t.Print();
 
-  double within = r.rate_diff_mbps.FractionWithinAbs(4.0);
+  double within = samples_sum > 0 ? within_sum / samples_sum : 0;
   bench::PrintHeadline(
       "%.0f%% of receive-rate estimates within 4 Mbit/s of actual (paper: 80%%)",
       within * 100);

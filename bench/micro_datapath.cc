@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/bundler/epoch.h"
+#include "src/net/fault_injector.h"
 #include "src/net/link.h"
 #include "src/obs/trace.h"
 #include "src/net/link_schedule.h"
@@ -556,6 +557,66 @@ BenchResult BenchParallelDesFatTree(int workers) {
   return r;
 }
 
+// Faulted datapath churn: every packet pays the targeting check, the
+// blackout cursor, and a Gilbert-Elliott loss + transition draw; ~10% of
+// survivors additionally pass through the bounded reorder hold slot (depth
+// releases cancel the pooled flush timer; sim time advances so timers
+// genuinely fire and recycle). Gated allocation-free like the other churn
+// rows — the injector's 0 allocs/packet contract, measured.
+BenchResult BenchFaultInjectorChurn() {
+  struct Sink : PacketHandler {
+    void HandlePacket(Packet pkt) override { g_sink = g_sink + pkt.size_bytes; }
+  };
+  Simulator sim;
+  Sink sink;
+  FaultProfileSpec spec;
+  spec.ge_p_good_to_bad = 0.05;
+  spec.ge_p_bad_to_good = 0.3;
+  spec.ge_loss_good = 0.0;
+  spec.ge_loss_bad = 1.0;
+  spec.reorder_prob = 0.1;
+  spec.reorder_depth = 8;
+  spec.seed = 12345;
+  FaultInjector inj(&sim, "bench", spec, &sink);
+  TimePoint now;
+  return Measure("fault_injector_churn", 1 << 14, 1 << 20, [&](uint64_t i) {
+    now += TimeDelta::Micros(1);
+    sim.RunUntil(now);
+    inj.HandlePacket(TypicalPacket(i));
+  });
+}
+
+// The fault-disabled fast path: a ctl-targeted profile while data packets
+// stream through — one type check, no RNG draw, no stats update. The op
+// (packet construction + sink delivery) is timed with and without the
+// injector interposed; `added_ns_out` receives the difference, the
+// injector's true added cost per untargeted packet. Together with the
+// end-to-end row this bounds the cost of declaring a fault profile on a
+// link whose targeted population is idle; a link with *no* profile has no
+// injector in its chain at all (AddFaultProfile is the only way one enters
+// a datapath), so its overhead is identically zero.
+BenchResult BenchFaultUntargetedHook(double* added_ns_out) {
+  struct Sink : PacketHandler {
+    void HandlePacket(Packet pkt) override { g_sink = g_sink + pkt.size_bytes; }
+  };
+  Simulator sim;
+  Sink sink;
+  // Volatile handler pointer: the baseline pays the same indirect dispatch a
+  // real delivery chain does, instead of letting the compiler collapse the
+  // whole op and charge packet construction to the injector.
+  PacketHandler* volatile base = &sink;
+  BenchResult direct = Measure("fault_direct_baseline", 1 << 16, 1 << 22,
+                               [&](uint64_t i) { base->HandlePacket(TypicalPacket(i)); });
+  FaultProfileSpec spec;
+  spec.target = FaultTarget::kCtl;
+  spec.loss_prob = 0.5;
+  FaultInjector inj(&sim, "bench_cold", spec, &sink);
+  BenchResult hook = Measure("fault_untargeted_hook", 1 << 16, 1 << 22,
+                             [&](uint64_t i) { inj.HandlePacket(TypicalPacket(i)); });
+  *added_ns_out = std::max(0.0, hook.ns_per_op - direct.ns_per_op);
+  return hook;
+}
+
 // The flight recorder's disabled hot path: a trace point whose category is
 // not in the armed mask costs one mask-load + shift + test + branch. This is
 // what every instrumented site pays when bundler_run runs without --trace
@@ -642,7 +703,7 @@ BenchResult BenchEndToEndExperimentTraced(double* records_per_event_out) {
 
 void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
                double speedup, double records_per_event, double disabled_overhead,
-               double burst_speedup, double pdes_speedup) {
+               double burst_speedup, double pdes_speedup, double fault_overhead) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -653,6 +714,7 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
   std::fprintf(f, "  \"parallel_des_speedup_w4_over_w1\": %.3f,\n", pdes_speedup);
   std::fprintf(f, "  \"trace_records_per_event\": %.4f,\n", records_per_event);
   std::fprintf(f, "  \"tracing_disabled_overhead_frac\": %.6f,\n", disabled_overhead);
+  std::fprintf(f, "  \"fault_disabled_overhead_frac\": %.6f,\n", fault_overhead);
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -710,6 +772,10 @@ int Run(const std::string& json_path) {
   BenchResult pdes_w4 = BenchParallelDesFatTree(4);
   results.push_back(pdes_w1);
   results.push_back(pdes_w4);
+  results.push_back(BenchFaultInjectorChurn());
+  double fault_added_ns = 0;
+  BenchResult fault_cold = BenchFaultUntargetedHook(&fault_added_ns);
+  results.push_back(fault_cold);
   BenchResult disabled_hook = BenchTraceDisabledHook();
   results.push_back(disabled_hook);
   results.push_back(BenchTraceRecordEnabled());
@@ -724,6 +790,10 @@ int Run(const std::string& json_path) {
   // per-event cost. scripts/bench.sh gates this at 2%.
   double disabled_overhead =
       disabled_hook.ns_per_op * records_per_event / e2e.ns_per_op;
+  // Fault-disabled overhead bound: at most one injector traversal per
+  // simulator event (a packet delivery), each adding the untargeted
+  // fast-path delta; scripts/bench.sh gates this at 2%.
+  double fault_overhead = fault_added_ns / e2e.ns_per_op;
 
   Table table({"benchmark", "ns/op", "ops/sec", "allocs/op"});
   for (const BenchResult& r : results) {
@@ -748,10 +818,13 @@ int Run(const std::string& json_path) {
   std::printf("tracing: %.2f records/event when fully armed; disabled-hook "
               "overhead bound %.4f%% of end-to-end run\n",
               records_per_event, disabled_overhead * 100);
+  std::printf("fault injection: untargeted hook adds %.1f ns/packet; disabled "
+              "overhead bound %.4f%% of end-to-end run\n",
+              fault_added_ns, fault_overhead * 100);
 
   if (!json_path.empty()) {
     WriteJson(json_path, results, speedup, records_per_event, disabled_overhead,
-              burst_speedup, pdes_speedup);
+              burst_speedup, pdes_speedup, fault_overhead);
   }
   // The engine must not allocate per scheduled event in steady state.
   if (engine.allocs_per_op != 0.0) {

@@ -18,6 +18,12 @@
 # untraced per-event cost) must stay at or below BENCH_MAX_TRACE_OVERHEAD
 # (default 0.02, i.e. 2%).
 #
+# Fault-injection gates (PR 9): the faulted datapath must stay
+# allocation-free (fault_injector_churn joins the churn rows), and the
+# fault-disabled overhead bound (untargeted fast-path cost per packet over
+# the untraced per-event cost) must stay at or below
+# BENCH_MAX_FAULT_OVERHEAD (default 0.02, i.e. 2%).
+#
 # Parallel-DES gates (PR 7): batched same-timestamp dispatch must beat
 # one-at-a-time head pops by BENCH_MIN_BURST_SPEEDUP (default 1.2x), the
 # flow-reclaim and boundary-ring churn rows must be allocation-free, and the
@@ -40,6 +46,7 @@ MAX_E2E_ALLOCS="${BENCH_MAX_E2E_ALLOCS:-0.01}"
 MAX_CHURN_ALLOCS="${BENCH_MAX_CHURN_ALLOCS:-0.001}"
 MAX_TRACE_ALLOCS="${BENCH_MAX_TRACE_ALLOCS:-0.001}"
 MAX_TRACE_OVERHEAD="${BENCH_MAX_TRACE_OVERHEAD:-0.02}"
+MAX_FAULT_OVERHEAD="${BENCH_MAX_FAULT_OVERHEAD:-0.02}"
 OUT="${BENCH_OUT:-BENCH_datapath.json}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -71,7 +78,7 @@ awk -v a="${E2E_ALLOCS}" -v max="${MAX_E2E_ALLOCS}" 'BEGIN { exit !(a <= max) }'
 }
 for bench in qdisc_droptail_churn qdisc_sfq_churn qdisc_fq_codel_churn \
              qdisc_strict_prio_churn tcp_recovery_churn link_event_rearm_churn \
-             flow_reclaim_churn boundary_ring_churn; do
+             flow_reclaim_churn boundary_ring_churn fault_injector_churn; do
   ALLOCS="$(alloc_of "${bench}")"
   awk -v a="${ALLOCS}" -v max="${MAX_CHURN_ALLOCS}" 'BEGIN { exit !(a <= max) }' || {
     echo "bench.sh: FAIL — ${bench} ${ALLOCS} allocs/op above gate ${MAX_CHURN_ALLOCS}" >&2
@@ -111,6 +118,16 @@ TRACE_OVERHEAD="$(grep -o '"tracing_disabled_overhead_frac": [0-9.]*' "${OUT}" |
 echo "tracing-disabled overhead bound: ${TRACE_OVERHEAD} (gate: <= ${MAX_TRACE_OVERHEAD})"
 awk -v o="${TRACE_OVERHEAD}" -v max="${MAX_TRACE_OVERHEAD}" 'BEGIN { exit !(o <= max) }' || {
   echo "bench.sh: FAIL — tracing-disabled overhead ${TRACE_OVERHEAD} above gate ${MAX_TRACE_OVERHEAD}" >&2
+  exit 1
+}
+
+# Fault-injection gate: declaring profiles must be ~free for untargeted
+# traffic (links with no profile have no injector in their chain at all).
+FAULT_OVERHEAD="$(grep -o '"fault_disabled_overhead_frac": [0-9.]*' "${OUT}" |
+  grep -o '[0-9.]*$')"
+echo "fault-disabled overhead bound: ${FAULT_OVERHEAD} (gate: <= ${MAX_FAULT_OVERHEAD})"
+awk -v o="${FAULT_OVERHEAD}" -v max="${MAX_FAULT_OVERHEAD}" 'BEGIN { exit !(o <= max) }' || {
+  echo "bench.sh: FAIL — fault-disabled overhead ${FAULT_OVERHEAD} above gate ${MAX_FAULT_OVERHEAD}" >&2
   exit 1
 }
 

@@ -5,8 +5,10 @@
 #   2. sanitizers — ASan+UBSan full suite, TSan over every concurrent suite
 #   3. analyzers  — scripts/analyze.sh --tidy-only when clang-tidy exists
 #   4. smoke      — scenario runs with byte-identity determinism checks
+#   5. repro      — scripts/repro.sh asserts the paper's headline claims
 # Set CHECK_SKIP_SANITIZERS=1 to skip tier 2 (e.g. on machines without
-# libasan).
+# libasan); CHECK_SKIP_REPRO=1 to skip tier 5 (it simulates several minutes
+# of scenario time).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +97,21 @@ cmp <(stable build/smoke_ft_s1/fat_tree_incast.json) \
 cmp <(stable build/smoke_ft_s1/fat_tree_incast.csv) \
     <(stable build/smoke_ft_s4/fat_tree_incast.csv)
 
+echo "--- smoke scenario: feedback_blackout (faulted control loop + watchdog)"
+# A faulted run must stay byte-identical across thread and shard counts: the
+# injector draws RNG only for targeted packets in arrival order, which the
+# determinism contract fixes.
+./build/bundler_run --scenario feedback_blackout --trials 1 --threads 2 \
+  --out build/smoke_fault_t2 --quiet
+./build/bundler_run --scenario feedback_blackout --trials 1 --threads 4 \
+  --out build/smoke_fault_t4 --quiet > /dev/null
+cmp <(stable build/smoke_fault_t2/feedback_blackout.json) \
+    <(stable build/smoke_fault_t4/feedback_blackout.json)
+./build/bundler_run --scenario feedback_blackout --trials 1 --shards 4 \
+  --out build/smoke_fault_s4 --quiet > /dev/null
+cmp <(stable build/smoke_fault_t2/feedback_blackout.json) \
+    <(stable build/smoke_fault_s4/feedback_blackout.json)
+
 echo "--- traced scenario: fig02_queue_shift with the flight recorder armed"
 ./build/bundler_run --scenario fig02_queue_shift --trace all --threads 2 \
   --out build/smoke_trace_t2 --quiet
@@ -121,5 +138,12 @@ awk '
 
 echo "--- trace determinism: byte-identical at --threads 2 vs 4"
 cmp "${TRACE}" build/smoke_trace_t4/fig02_queue_shift.trace.jsonl
+
+if [[ "${CHECK_SKIP_REPRO:-0}" != "1" ]]; then
+  echo "--- repro tier: headline claims as asserted ranges"
+  ./scripts/repro.sh
+else
+  echo "--- repro tier: skipped (CHECK_SKIP_REPRO=1)"
+fi
 
 echo "check.sh: OK"

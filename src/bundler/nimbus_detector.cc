@@ -26,6 +26,8 @@ void NimbusDetector::Reset() {
   samples_since_eval_ = 0;
   elastic_ = false;
   metric_ = 0.0;
+  last_busy_ = false;
+  busy_count_ = 0;
 }
 
 TimeDelta NimbusDetector::pulse_period() const {
@@ -69,10 +71,13 @@ void NimbusDetector::AddSample(TimePoint now, Rate rin, Rate rout, TimeDelta que
     z = 0.0;  // idle bottleneck: no competing queue
   }
   last_cross_ = Rate::BitsPerSec(z);
+  last_busy_ = queue_delay > queue_delay_threshold;
   z_history_.push_back(z);
-  busy_history_.push_back(queue_delay > queue_delay_threshold);
+  busy_history_.push_back(last_busy_);
+  busy_count_ += last_busy_ ? 1 : 0;
   while (z_history_.size() > config_.fft_size) {
     z_history_.pop_front();
+    busy_count_ -= busy_history_.front() ? 1 : 0;
     busy_history_.pop_front();
   }
   if (++samples_since_eval_ >= config_.eval_every_samples) {
@@ -95,10 +100,7 @@ void NimbusDetector::Evaluate() {
     metric_ = 0.0;
     return;
   }
-  size_t busy = 0;
-  for (size_t i = 0; i < busy_history_.size(); ++i) {
-    busy += busy_history_[i] ? 1 : 0;
-  }
+  const size_t busy = busy_count_;  // maintained incrementally by AddSample
   if (static_cast<double>(busy) <
       config_.min_busy_frac * static_cast<double>(busy_history_.size())) {
     elastic_ = false;

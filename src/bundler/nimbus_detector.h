@@ -54,6 +54,18 @@ class NimbusDetector {
   double elasticity_metric() const { return metric_; }
   Rate mu_estimate() const { return mu_; }
   Rate cross_estimate() const { return last_cross_; }
+  // Busy-gate verdict of the newest sample: was the bottleneck holding a
+  // standing queue? Robust elasticity exits gate their quiet-tick counter on
+  // this (a quiet verdict from an idle bottleneck says nothing about whether
+  // the cross traffic left).
+  bool last_sample_busy() const { return last_busy_; }
+  // Fraction of the current FFT window whose busy gate was open.
+  double busy_fraction() const {
+    return busy_history_.empty()
+               ? 0.0
+               : static_cast<double>(busy_count_) /
+                     static_cast<double>(busy_history_.size());
+  }
 
   void Reset();
 
@@ -82,6 +94,8 @@ class NimbusDetector {
   size_t samples_since_eval_ = 0;
   bool elastic_ = false;
   double metric_ = 0.0;
+  bool last_busy_ = false;
+  size_t busy_count_ = 0;  // busy samples currently in busy_history_
 };
 
 }  // namespace bundler

@@ -91,6 +91,11 @@ Sendbox::Sendbox(Simulator* sim, const Config& config, PacketHandler* egress)
   ctr_rate_updates_ = reg.Counter("sendbox." + name + ".rate_updates");
   ctr_cc_updates_ = reg.Counter("cc." + name + ".rate_updates");
   ctr_cc_resets_ = reg.Counter("cc." + name + ".resets");
+  if (config_.watchdog) {
+    ctr_wd_degrades_ = reg.Counter("watchdog." + name + ".degrades");
+    ctr_wd_probes_ = reg.Counter("watchdog." + name + ".probes");
+    ctr_wd_resyncs_ = reg.Counter("watchdog." + name + ".resyncs");
+  }
   passthrough_frac_ = reg.Gauge("sendbox." + name + ".passthrough_frac");
   detector_.BindObs(&tracer, tracer.RegisterComponent("nimbus", name),
                     reg.Counter("nimbus." + name + ".evals"));
@@ -169,14 +174,7 @@ void Sendbox::SwitchMode(BundlerMode next) {
       // path from `initial_rate`; with warm_restart the controller instead
       // seeds from the measured egress rate, so the bundle keeps roughly its
       // pre-switch share while the controller converges.
-      cc_->Reset(now, config_.warm_restart && egress_rate_bps_ > 0
-                          ? Rate::BitsPerSec(egress_rate_bps_)
-                          : Rate::Zero());
-      ++*ctr_cc_resets_;
-      if (sim_->trace().enabled(obs::TraceCat::kCc)) {
-        sim_->trace().Trace(obs::TraceCat::kCc, obs::TraceEv::kCcReset,
-                            cc_comp_, now, obs::EncodeRate(cc_->TargetRate()));
-      }
+      ReseedController(now);
       break;
     case BundlerMode::kPassThrough: {
       Rate start = std::max(detector_.mu_estimate(), shaper_.rate());
@@ -236,20 +234,61 @@ void Sendbox::UpdateMode(const BundleMeasurement& m) {
   if (!config_.nimbus_detection) {
     return;
   }
+  if (detector_.last_sample_busy()) {
+    ++busy_run_ticks_;
+  } else {
+    busy_run_ticks_ = 0;
+  }
   if (detector_.IsElastic()) {
     ++elastic_ticks_;
     nonelastic_ticks_ = 0;
   } else if (detector_.elasticity_metric() < config_.elastic_exit_metric) {
-    ++nonelastic_ticks_;
+    // Robust exits gate the counter on bottleneck busyness: in pass-through
+    // the sendbox rarely has a backlog, so the probe pulse cannot modulate
+    // egress and a quiet verdict while the bottleneck still holds a standing
+    // queue is uninformative. Quiet+idle ticks are evidence the cross
+    // traffic left and count up; quiet+busy ticks count *down* (floor 0), so
+    // a mostly-busy bottleneck — a live competitor with brief idle dips
+    // during its loss recovery — never accumulates exit evidence, while a
+    // mostly-idle one (only the bundle's own transient bursts) still exits
+    // within ~exit_ticks / (2*idle_frac - 1) ticks.
+    if (!config_.robust_elastic_exit || !detector_.last_sample_busy()) {
+      ++nonelastic_ticks_;
+    } else if (nonelastic_ticks_ > 0) {
+      --nonelastic_ticks_;
+    }
     elastic_ticks_ = 0;
   }
+  // Robust busy entry: delay control keeps the bundle's own standing queue
+  // ~1 ms (below the detector's busy threshold), so an uninterrupted
+  // multi-second standing queue means buffer-filling cross traffic even
+  // before the FFT metric classifies it.
+  const bool busy_enter =
+      config_.robust_elastic_exit &&
+      busy_run_ticks_ >= config_.elastic_busy_enter_ticks;
   // Metric between the exit and enter thresholds: hold the current mode.
-  if (mode_ == BundlerMode::kDelayControl && elastic_ticks_ >= config_.elastic_enter_ticks &&
+  const int exit_ticks =
+      config_.elastic_exit_ticks *
+      (config_.robust_elastic_exit ? elastic_exit_scale_ : 1);
+  if (mode_ == BundlerMode::kDelayControl &&
+      (elastic_ticks_ >= config_.elastic_enter_ticks || busy_enter) &&
       dwell > config_.mode_min_dwell) {
+    if (config_.robust_elastic_exit) {
+      // Probe-and-commit: the previous exit *was* the probe (delay control
+      // with the reseeded controller). Bouncing straight back means the
+      // cross traffic never left, so demand more quiet evidence next time;
+      // a re-entry long after the exit is a genuinely new episode.
+      elastic_exit_scale_ =
+          last_elastic_exit_ != TimePoint() &&
+                  now - last_elastic_exit_ < config_.elastic_reentry_window
+              ? std::min(elastic_exit_scale_ * 2, 8)
+              : 1;
+    }
     SwitchMode(BundlerMode::kPassThrough);
   } else if (mode_ == BundlerMode::kPassThrough &&
-             nonelastic_ticks_ >= config_.elastic_exit_ticks &&
+             nonelastic_ticks_ >= exit_ticks &&
              dwell > config_.mode_min_dwell) {
+    last_elastic_exit_ = now;
     SwitchMode(BundlerMode::kDelayControl);
   }
 }
@@ -276,6 +315,129 @@ void Sendbox::MaybeUpdateEpochSize(const BundleMeasurement& m) {
   // Refresh the receivebox periodically in case a control message was lost.
   if (now - last_epoch_ctl_sent_ > TimeDelta::Seconds(1)) {
     SendEpochCtl();
+  }
+}
+
+void Sendbox::ReseedController(TimePoint now) {
+  cc_->Reset(now, config_.warm_restart && egress_rate_bps_ > 0
+                      ? Rate::BitsPerSec(egress_rate_bps_)
+                      : Rate::Zero());
+  ++*ctr_cc_resets_;
+  if (sim_->trace().enabled(obs::TraceCat::kCc)) {
+    sim_->trace().Trace(obs::TraceCat::kCc, obs::TraceEv::kCcReset, cc_comp_,
+                        now, obs::EncodeRate(cc_->TargetRate()));
+  }
+}
+
+void Sendbox::WatchdogTick(const BundleMeasurement& m) {
+  TimePoint now = sim_->now();
+  if (m.fresh) {
+    if (!wd_seen_feedback_) {
+      wd_seen_feedback_ = true;
+      wd_qdel_ok_ = now;
+    }
+    wd_last_fresh_ = now;
+  }
+  if (!wd_seen_feedback_) {
+    return;  // the loop never closed yet; startup is the cc's job, not ours
+  }
+  const TimeDelta staleness = now - wd_last_fresh_;
+  const TimeDelta qdel =
+      m.inst_rtt > m.min_rtt ? m.inst_rtt - m.min_rtt : TimeDelta::Zero();
+  if (wd_degraded_) {
+    if (wd_cause_ == WatchdogCause::kDelay &&
+        staleness > config_.watchdog_timeout) {
+      // The reverse path went from congested to dead: feedback stopped
+      // flowing entirely mid-degradation. Promote to the staleness
+      // lifecycle so the exponential-backoff probing resumes.
+      wd_cause_ = WatchdogCause::kStale;
+      wd_probe_backoff_ = config_.watchdog_probe_initial;
+      wd_next_probe_ = now + wd_probe_backoff_;
+      return;
+    }
+    // Re-sync condition per cause: any matched feedback ends a blackout,
+    // but a delay-cause degradation needs the delay itself to clear — the
+    // congested queue's sawtooth grazes the budget, so require half of it.
+    const bool recovered =
+        m.fresh && (wd_cause_ == WatchdogCause::kStale ||
+                    qdel <= config_.watchdog_qdel_budget * 0.5);
+    if (recovered) {
+      // The controller that rules the current mode restarts from live state
+      // (through the warm_restart seeding path) instead of resuming its
+      // stale pre-outage trajectory.
+      wd_degraded_ = false;
+      wd_cause_ = WatchdogCause::kNone;
+      wd_qdel_ok_ = now;
+      const TimeDelta degraded_for = now - wd_degraded_since_;
+      if (mode_ == BundlerMode::kDelayControl) {
+        ReseedController(now);
+      } else if (mode_ == BundlerMode::kPassThrough) {
+        pi_.Reset(std::max(detector_.mu_estimate(), shaper_.rate()),
+                  queue_bytes(), now);
+      }
+      ++*ctr_wd_resyncs_;
+      wd_log_.emplace_back(now, WatchdogEvent::kResync);
+      if (sim_->trace().enabled(obs::TraceCat::kWatchdog)) {
+        sim_->trace().Trace(obs::TraceCat::kWatchdog, obs::TraceEv::kWdResync,
+                            comp_, now,
+                            static_cast<uint64_t>(degraded_for.nanos()),
+                            obs::EncodeRate(shaper_.rate()));
+      }
+      return;
+    }
+    if (wd_cause_ == WatchdogCause::kStale && now >= wd_next_probe_) {
+      WatchdogProbe(now);
+    }
+    return;
+  }
+  // Armed: watch loop liveness and the delay-control contract. The contract
+  // clock resets whenever the sendbox is not in delay control or the
+  // queue-delay estimate is within budget — only an *unbroken* violation
+  // spanning `watchdog_timeout` degrades, so transient spikes while the
+  // controller reacts to arriving cross traffic never trip it.
+  if (mode_ != BundlerMode::kDelayControl ||
+      qdel <= config_.watchdog_qdel_budget) {
+    wd_qdel_ok_ = now;
+  }
+  WatchdogCause cause = WatchdogCause::kNone;
+  if (staleness > config_.watchdog_timeout) {
+    cause = WatchdogCause::kStale;
+  } else if (now - wd_qdel_ok_ > config_.watchdog_timeout) {
+    cause = WatchdogCause::kDelay;
+  }
+  if (cause != WatchdogCause::kNone) {
+    wd_degraded_ = true;
+    wd_cause_ = cause;
+    wd_degraded_since_ = now;
+    if (cause == WatchdogCause::kStale) {
+      wd_probe_backoff_ = config_.watchdog_probe_initial;
+      wd_next_probe_ = now + wd_probe_backoff_;
+    }
+    ++*ctr_wd_degrades_;
+    wd_log_.emplace_back(now, WatchdogEvent::kDegrade);
+    if (sim_->trace().enabled(obs::TraceCat::kWatchdog)) {
+      sim_->trace().Trace(obs::TraceCat::kWatchdog, obs::TraceEv::kWdDegrade,
+                          comp_, now, static_cast<uint64_t>(staleness.nanos()),
+                          static_cast<uint64_t>(qdel.nanos()));
+    }
+  }
+}
+
+// Re-probe: a fresh epoch ctl message re-arms the receivebox's epoch state
+// (it may have missed resizes during the outage) and exercises the forward
+// path; any matched feedback it provokes ends the degradation.
+void Sendbox::WatchdogProbe(TimePoint now) {
+  ++wd_probe_seq_;
+  SendEpochCtl();
+  ++*ctr_wd_probes_;
+  wd_log_.emplace_back(now, WatchdogEvent::kProbe);
+  wd_probe_backoff_ =
+      std::min(wd_probe_backoff_ * 2.0, config_.watchdog_probe_max);
+  wd_next_probe_ = now + wd_probe_backoff_;
+  if (sim_->trace().enabled(obs::TraceCat::kWatchdog)) {
+    sim_->trace().Trace(obs::TraceCat::kWatchdog, obs::TraceEv::kWdProbe,
+                        comp_, now, wd_probe_seq_,
+                        static_cast<uint64_t>(wd_probe_backoff_.nanos()));
   }
 }
 
@@ -319,10 +481,23 @@ void Sendbox::ControlTick() {
     detector_.AddSample(now, m.inst_send_rate, m.inst_recv_rate, qdel, busy_thresh);
   }
 
-  UpdateMode(m);
+  if (config_.watchdog) {
+    WatchdogTick(m);
+  }
+  const bool degraded = config_.watchdog && wd_degraded_;
+  if (!degraded) {
+    UpdateMode(m);
+  }
 
   Rate base;
-  switch (mode_) {
+  if (degraded) {
+    // Graceful degradation: the measurements are stale (blackout) or
+    // measure a delay shaping cannot drain (congested reverse path), so
+    // acting on them can only hurt. Open the pipe and let endhost congestion
+    // control rule — the bundle behaves like status quo until the loop heals.
+    base = config_.max_rate;
+  } else {
+    switch (mode_) {
     case BundlerMode::kDelayControl:
       cc_->OnMeasurement(m);
       base = cc_->TargetRate();
@@ -347,10 +522,11 @@ void Sendbox::ControlTick() {
     case BundlerMode::kDisabled:
       base = config_.max_rate;
       break;
+    }
   }
 
   Rate rate = base;
-  if (config_.nimbus_detection && mode_ != BundlerMode::kDisabled &&
+  if (!degraded && config_.nimbus_detection && mode_ != BundlerMode::kDisabled &&
       detector_.mu_estimate().bps() > 0) {
     rate = rate + detector_.PulseRate(now, detector_.mu_estimate());
   }
@@ -368,7 +544,11 @@ void Sendbox::ControlTick() {
   }
   shaper_.SetRate(rate);
 
-  MaybeUpdateEpochSize(m);
+  if (!degraded) {
+    // While degraded the watchdog owns receivebox re-probing (exponential
+    // backoff); the periodic epoch refresh would defeat the backoff.
+    MaybeUpdateEpochSize(m);
+  }
 
   rate_log_.Add(now, rate.Mbps());
   double qdelay_ms = rate.bps() > 0

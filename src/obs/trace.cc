@@ -14,6 +14,7 @@ namespace {
 constexpr const char* kCatNames[] = {
     "sim",  "link", "linksched", "qdisc", "tcp",
     "sendbox", "mode", "nimbus", "pi", "cc", "shard",
+    "fault", "watchdog",
 };
 static_assert(sizeof(kCatNames) / sizeof(kCatNames[0]) ==
               static_cast<size_t>(TraceCat::kNumCats));
@@ -52,6 +53,12 @@ constexpr EvName kEvNames[] = {
     {TraceEv::kCcReset, "cc_reset"},
     {TraceEv::kShardSend, "shard_send"},
     {TraceEv::kShardDeliver, "shard_deliver"},
+    {TraceEv::kFaultDrop, "fault_drop"},
+    {TraceEv::kFaultHold, "fault_hold"},
+    {TraceEv::kFaultRelease, "fault_release"},
+    {TraceEv::kWdDegrade, "wd_degrade"},
+    {TraceEv::kWdProbe, "wd_probe"},
+    {TraceEv::kWdResync, "wd_resync"},
 };
 
 void AppendF(std::string* out, const char* fmt, ...) {

@@ -60,6 +60,8 @@ enum class TraceCat : uint8_t {
   kPi,         // PI controller updates/resets
   kCc,         // bundle congestion-controller updates/resets
   kShard,      // cross-shard boundary packet exchange (parallel DES)
+  kFault,      // fault-injector drops/holds/releases
+  kWatchdog,   // sendbox feedback watchdog (degrade/probe/resync)
   kNumCats,
 };
 
@@ -118,6 +120,14 @@ enum class TraceEv : uint16_t {
   // across --shards values)
   kShardSend,     // a=channel_id b=channel_seq c=deliver_ns
   kShardDeliver,  // a=channel_id b=channel_seq c=sent_ns
+  // kFault
+  kFaultDrop,     // a=cause(0=random 1=burst 2=blackout) b=pkt_type c=size
+  kFaultHold,     // a=held_count b=pkt_type c=size_bytes (reorder capture)
+  kFaultRelease,  // a=held_count b=pkt_type c=displacement (pkts overtaken)
+  // kWatchdog
+  kWdDegrade,  // a=staleness_ns b=last_feedback_ns (entering degraded mode)
+  kWdProbe,    // a=probe_seq b=next_backoff_ns (re-probe while degraded)
+  kWdResync,   // a=degraded_ns b=rate_bps (feedback returned; warm re-seed)
 };
 
 const char* TraceEvName(TraceEv ev);

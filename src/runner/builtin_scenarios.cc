@@ -80,6 +80,7 @@ void RegisterBuiltinScenarios() {
   static const bool registered = []() {
     ScenarioRegistry* registry = &ScenarioRegistry::Global();
     RegisterFig02QueueShift(registry);
+    RegisterFig05RateEstimate(registry);
     RegisterFig09Fct(registry);
     RegisterFig10CrossTraffic(registry);
     RegisterFig11WebCrossSweep(registry);
@@ -90,6 +91,8 @@ void RegisterBuiltinScenarios() {
     RegisterAsymReversePath(registry);
     RegisterAsymReverseSweep(registry);
     RegisterLinkFlap(registry);
+    RegisterFeedbackBlackout(registry);
+    RegisterFeedbackLossSweep(registry);
     RegisterRateStep(registry);
     RegisterFatTreeIncast(registry);
     return true;

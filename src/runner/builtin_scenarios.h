@@ -47,6 +47,7 @@ void AddFctMillis(TrialResult* result, const QuantileEstimator& fct_seconds,
 // Individual registrations (each CHECK-fails on double registration; prefer
 // RegisterBuiltinScenarios).
 void RegisterFig02QueueShift(ScenarioRegistry* registry);
+void RegisterFig05RateEstimate(ScenarioRegistry* registry);
 void RegisterFig09Fct(ScenarioRegistry* registry);
 void RegisterFig10CrossTraffic(ScenarioRegistry* registry);
 void RegisterFig11WebCrossSweep(ScenarioRegistry* registry);
@@ -57,6 +58,8 @@ void RegisterParkingLot(ScenarioRegistry* registry);
 void RegisterAsymReversePath(ScenarioRegistry* registry);
 void RegisterAsymReverseSweep(ScenarioRegistry* registry);
 void RegisterLinkFlap(ScenarioRegistry* registry);
+void RegisterFeedbackBlackout(ScenarioRegistry* registry);
+void RegisterFeedbackLossSweep(ScenarioRegistry* registry);
 void RegisterRateStep(ScenarioRegistry* registry);
 void RegisterFatTreeIncast(ScenarioRegistry* registry);
 

@@ -44,8 +44,9 @@ void PrintUsage(std::FILE* out) {
                "byte-identical for every N.\n"
                "\n"
                "--trace arms the per-trial flight recorder for the comma-separated\n"
-               "categories (sim,link,linksched,qdisc,tcp,sendbox,mode,nimbus,pi,cc\n"
-               "or 'all'). Every trial's trace is captured and written, sorted by\n"
+               "categories (sim,link,linksched,qdisc,tcp,sendbox,mode,nimbus,pi,\n"
+               "cc,shard,fault,watchdog or 'all'). Every trial's trace is captured\n"
+               "and written, sorted by\n"
                "trial signature, to --trace-out (default DIR/NAME.trace.jsonl or\n"
                ".trace.txt); --trace-ring sets the per-trial ring capacity in\n"
                "records (default 262144, 40 bytes each, oldest evicted first).\n"

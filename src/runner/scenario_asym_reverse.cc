@@ -44,7 +44,8 @@ struct AsymGraph {
   NetBuilder::MonitorId reverse_delay = -1, bundle_meter = -1;
 };
 
-NetBuilder AsymReverseBuilder(Rate reverse_rate, bool bundled, AsymGraph* graph) {
+NetBuilder AsymReverseBuilder(Rate reverse_rate, bool bundled, bool watchdog,
+                              AsymGraph* graph) {
   NetBuilder b;
   AsymGraph g;
   g.srv = b.AddSite("srv", kSrvSite);
@@ -86,6 +87,12 @@ NetBuilder AsymReverseBuilder(Rate reverse_rate, bool bundled, AsymGraph* graph)
     bundle.src_site = g.srv;
     bundle.dst_site = g.cli;
     bundle.ingress_edge = g.forward;
+    // The watchdog arm (asym_reverse_sweep's "bundler_watchdog") is a
+    // robustness configuration: feedback starvation on the congested reverse
+    // queue must produce a controlled fallback to pass-through, not a shaped
+    // collapse, and recovery must reseed warm (sendbox.h on warm_restart).
+    bundle.sendbox.watchdog = watchdog;
+    bundle.sendbox.warm_restart = watchdog;
     b.AddBundle(bundle);
   }
 
@@ -101,7 +108,8 @@ NetBuilder AsymReverseBuilder(Rate reverse_rate, bool bundled, AsymGraph* graph)
 }
 
 TrialResult RunTrial(const TrialPoint& point) {
-  bool bundler_on = point.variant == "bundler";
+  bool watchdog = point.variant == "bundler_watchdog";
+  bool bundler_on = watchdog || point.variant == "bundler";
   BUNDLER_CHECK_MSG(bundler_on || point.variant == "status_quo",
                     "unknown asym_reverse variant '%s'", point.variant.c_str());
   Rate reverse_rate = Rate::Mbps(point.Param("reverse_mbps"));
@@ -109,7 +117,8 @@ TrialResult RunTrial(const TrialPoint& point) {
   Simulator sim;
   BeginTrialObs(&sim);
   AsymGraph g;
-  std::unique_ptr<Net> net = AsymReverseBuilder(reverse_rate, bundler_on, &g).Build(&sim);
+  std::unique_ptr<Net> net =
+      AsymReverseBuilder(reverse_rate, bundler_on, watchdog, &g).Build(&sim);
 
   static const SizeCdf kCdf = SizeCdf::InternetCoreRouter();
   FctRecorder fct;
@@ -147,6 +156,37 @@ TrialResult RunTrial(const TrialPoint& point) {
         static_cast<double>(net->sendbox(0)->measurement().feedback_matched()) /
         kDuration.ToSeconds();
   }
+  if (watchdog) {
+    // Controlled-fallback forensics: how often the watchdog degraded, how
+    // much of the run was spent degraded, and the mean time each degradation
+    // lasted (the measured recovery time; an unrecovered tail counts to the
+    // end of the run).
+    const auto& log = net->sendbox(0)->watchdog_log();
+    double degrades = 0;
+    double resyncs = 0;
+    TimeDelta degraded_total = TimeDelta::Zero();
+    TimePoint degraded_since;
+    bool degraded = false;
+    for (const auto& [t, ev] : log) {
+      if (ev == Sendbox::WatchdogEvent::kDegrade) {
+        ++degrades;
+        degraded = true;
+        degraded_since = t;
+      } else if (ev == Sendbox::WatchdogEvent::kResync && degraded) {
+        ++resyncs;
+        degraded = false;
+        degraded_total += t - degraded_since;
+      }
+    }
+    if (degraded) {
+      degraded_total += TimePoint::Zero() + kDuration - degraded_since;
+    }
+    r.scalars["wd_degrades"] = degrades;
+    r.scalars["wd_resyncs"] = resyncs;
+    r.scalars["wd_degraded_frac"] = degraded_total / kDuration;
+    r.scalars["wd_mean_recovery_ms"] =
+        degrades > 0 ? degraded_total.ToMillis() / degrades : 0.0;
+  }
   EndTrialObs(&sim, point, &r);
   return r;
 }
@@ -164,7 +204,9 @@ void RegisterAsymReversePath(ScenarioRegistry* registry) {
   spec.default_trials = 3;
   registry->Register(std::move(spec), RunTrial, []() {
     return BuildAndRenderDot(
-        AsymReverseBuilder(Rate::Mbps(8), /*bundled=*/true, nullptr), "asym_reverse");
+        AsymReverseBuilder(Rate::Mbps(8), /*bundled=*/true, /*watchdog=*/false,
+                           nullptr),
+        "asym_reverse");
   });
 }
 
@@ -178,13 +220,15 @@ void RegisterAsymReverseSweep(ScenarioRegistry* registry) {
   spec.name = "asym_reverse_sweep";
   spec.summary =
       "Fine reverse-capacity sweep (5..12 Mbit/s) around the feedback-collapse "
-      "threshold asym_reverse found at ~8 Mbit/s";
-  spec.variants = {"status_quo", "bundler"};
+      "threshold asym_reverse found at ~8 Mbit/s; the watchdog arm degrades "
+      "gracefully instead of collapsing";
+  spec.variants = {"status_quo", "bundler", "bundler_watchdog"};
   spec.axes = {{"reverse_mbps", {5, 6, 7, 8, 10, 12}}};
   spec.default_trials = 3;
   registry->Register(std::move(spec), RunTrial, []() {
     return BuildAndRenderDot(
-        AsymReverseBuilder(Rate::Mbps(7), /*bundled=*/true, nullptr),
+        AsymReverseBuilder(Rate::Mbps(7), /*bundled=*/true, /*watchdog=*/true,
+                           nullptr),
         "asym_reverse_sweep");
   });
 }

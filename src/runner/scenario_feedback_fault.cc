@@ -1,0 +1,251 @@
+// Control-loop fault injection on the paper's dumbbell: the out-of-band
+// feedback channel (§4.5) fails while the data path stays healthy. Two
+// scenarios share the topology and trial body:
+//
+//  - feedback_blackout: every Bundler control message crossing the reverse
+//    link is dropped for a 5-second window (a ctl-targeted blackout from
+//    NetBuilder::AddFaultProfile). Without a watchdog the sendbox keeps
+//    shaping on whatever rate the controller last computed; the watchdog arm
+//    must instead degrade to pass-through within its staleness timeout, ride
+//    out the outage at status-quo behavior, and re-sync within one epoch of
+//    feedback returning (measured from the sendbox's watchdog log).
+//
+//  - feedback_loss_sweep: seeded Bernoulli loss on the same ctl traffic,
+//    swept from lossless to 40%. The measurement engine is built to tolerate
+//    sparse feedback (unmatched records just stretch the next epoch), so the
+//    interesting output is where that tolerance ends and what the watchdog
+//    buys at the extreme.
+//
+// Both are robustness scenarios, so their bundler arms run with
+// Sendbox::Config::warm_restart on (see sendbox.h: the pinned figures keep
+// it off; graceful degradation without warm recovery would re-collapse the
+// bundle at every re-sync).
+#include <string>
+
+#include "src/app/workload.h"
+#include "src/metrics/fct.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/trial_obs.h"
+#include "src/util/check.h"
+
+namespace bundler {
+namespace runner {
+namespace {
+
+constexpr auto kBottleneck = Rate::Mbps(96);
+constexpr auto kWebLoad = Rate::Mbps(84);
+constexpr auto kDuration = TimeDelta::Seconds(30);
+constexpr auto kWarmup = TimeDelta::Seconds(3);
+constexpr auto kBlackoutStart = TimeDelta::Seconds(10);
+constexpr auto kBlackoutEnd = TimeDelta::Seconds(15);  // 5 s total outage
+constexpr auto kRecoverySlack = TimeDelta::Seconds(2);
+
+TimePoint At(TimeDelta d) { return TimePoint::Zero() + d; }
+
+struct Variant {
+  bool bundler_on = false;
+  bool watchdog = false;
+};
+
+Variant ParseVariant(const std::string& name, const char* scenario) {
+  Variant v;
+  if (name == "status_quo") {
+    return v;
+  }
+  v.bundler_on = true;
+  if (name == "bundler_watchdog") {
+    v.watchdog = true;
+  } else {
+    BUNDLER_CHECK_MSG(name == "bundler", "unknown %s variant '%s'", scenario,
+                      name.c_str());
+  }
+  return v;
+}
+
+DumbbellConfig FaultConfig(const Variant& v) {
+  DumbbellConfig cfg;
+  cfg.bottleneck_rate = kBottleneck;
+  cfg.rtt = TimeDelta::Millis(50);
+  cfg.bundler_enabled = v.bundler_on;
+  cfg.rate_meter_window = TimeDelta::Millis(100);
+  cfg.sendbox.warm_restart = v.bundler_on;  // robustness scenario: always warm
+  cfg.sendbox.watchdog = v.watchdog;
+  return cfg;
+}
+
+// Derives the fault profile's private seed from the trial seed so each trial
+// sees an independent but reproducible fault sequence (and so the fault RNG
+// can never alias the workload RNG, which uses the trial seed directly).
+uint64_t FaultSeed(uint64_t trial_seed) {
+  return trial_seed * 0x9e3779b97f4a7c15ull + 0xfau;
+}
+
+NetBuilder FaultedDumbbell(const Variant& v, const FaultProfileSpec& fault,
+                           DumbbellGraph* graph, NetBuilder::FaultId* fault_id) {
+  DumbbellGraph g;
+  NetBuilder b = DumbbellBuilder(FaultConfig(v), &g);
+  // The profile targets only Bundler control messages, so the status-quo arm
+  // carries it too (uniform topology) without consuming a single RNG draw.
+  NetBuilder::FaultId id = b.AddFaultProfile(g.reverse_link, fault);
+  if (graph != nullptr) {
+    *graph = g;
+  }
+  if (fault_id != nullptr) {
+    *fault_id = id;
+  }
+  return b;
+}
+
+// Shared trial body: build the faulted dumbbell, run the §7.1 web workload
+// through it, and report FCT windows plus watchdog/fault forensics.
+TrialResult RunFaultTrial(const Variant& v, const FaultProfileSpec& fault,
+                          uint64_t seed) {
+  Simulator sim;
+  BeginTrialObs(&sim);
+  DumbbellGraph g;
+  NetBuilder::FaultId fault_id = -1;
+  std::unique_ptr<Net> net = FaultedDumbbell(v, fault, &g, &fault_id).Build(&sim);
+
+  static const SizeCdf kCdf = SizeCdf::InternetCoreRouter();
+  FctRecorder fct;
+  WebWorkloadConfig wl;
+  wl.offered_load = kWebLoad;
+  PoissonWebWorkload web(&sim, net->flows(), net->host(g.servers[0]),
+                         net->host(g.clients[0]), &kCdf, wl, seed, &fct);
+
+  sim.RunUntil(At(kDuration));
+
+  TrialResult r;
+  auto fct_window = [&](TimeDelta from, TimeDelta to, const std::string& key) {
+    RequestFilter f = RequestFilter::SmallFlows();
+    f.min_start = At(from);
+    f.max_start = At(to);
+    AddFctMillis(&r, fct.Fcts(f), key);
+  };
+  fct_window(kWarmup, kBlackoutStart, "short_fct_pre_ms");
+  fct_window(kBlackoutStart, kBlackoutEnd + kRecoverySlack, "short_fct_fault_ms");
+  fct_window(kBlackoutEnd + kRecoverySlack, kDuration - TimeDelta::Seconds(2),
+             "short_fct_post_ms");
+  r.scalars["bundle_tput_fault_mbps"] =
+      net->rate_meter(g.bundle_meters[0])
+          ->AverageRate(At(kBlackoutStart), At(kBlackoutEnd))
+          .Mbps();
+  r.scalars["requests_completed"] = static_cast<double>(fct.completed());
+
+  const FaultInjector::Stats& fs = net->fault_injector(fault_id)->stats();
+  r.scalars["ctl_drops"] = static_cast<double>(fs.drops_random + fs.drops_burst +
+                                               fs.drops_blackout);
+  r.scalars["ctl_passed"] = static_cast<double>(fs.passed);
+
+  if (v.bundler_on) {
+    Sendbox* sb = net->sendbox(0);
+    r.scalars["feedback_matched_per_sec"] =
+        static_cast<double>(sb->measurement().feedback_matched()) /
+        kDuration.ToSeconds();
+    r.scalars["mode_transitions"] = static_cast<double>(sb->mode_log().size());
+  }
+  if (v.watchdog) {
+    Sendbox* sb = net->sendbox(0);
+    // Watchdog forensics, straight from the state-machine log: how long after
+    // the fault began did the sendbox degrade, how many probes it issued, and
+    // how long after feedback could flow again did it re-sync. -1 = never.
+    double degrade_ms = -1;
+    double resync_ms = -1;
+    double probes = 0;
+    for (const auto& [t, ev] : sb->watchdog_log()) {
+      switch (ev) {
+        case Sendbox::WatchdogEvent::kDegrade:
+          if (degrade_ms < 0 && t >= At(kBlackoutStart)) {
+            degrade_ms = (t - At(kBlackoutStart)).ToMillis();
+          }
+          break;
+        case Sendbox::WatchdogEvent::kProbe:
+          ++probes;
+          break;
+        case Sendbox::WatchdogEvent::kResync:
+          if (resync_ms < 0 && t >= At(kBlackoutEnd)) {
+            resync_ms = (t - At(kBlackoutEnd)).ToMillis();
+          }
+          break;
+      }
+    }
+    r.scalars["wd_degrade_latency_ms"] = degrade_ms;
+    r.scalars["wd_resync_latency_ms"] = resync_ms;
+    r.scalars["wd_probes"] = probes;
+    r.scalars["wd_degraded_at_end"] = sb->watchdog_degraded() ? 1.0 : 0.0;
+  }
+  return r;
+}
+
+FaultProfileSpec BlackoutProfile(uint64_t trial_seed) {
+  FaultProfileSpec fault;
+  fault.target = FaultTarget::kCtl;
+  fault.blackouts = {{kBlackoutStart, kBlackoutEnd}};
+  fault.seed = FaultSeed(trial_seed);
+  return fault;
+}
+
+TrialResult RunBlackoutTrial(const TrialPoint& point) {
+  Variant v = ParseVariant(point.variant, "feedback_blackout");
+  if (point.shards > 0) {
+    CheckDumbbellIndivisible(FaultConfig(v));
+  }
+  TrialResult r = RunFaultTrial(v, BlackoutProfile(point.seed), point.seed);
+  // Blackout-specific bookkeeping is folded in by RunFaultTrial; nothing else.
+  return r;
+}
+
+TrialResult RunLossSweepTrial(const TrialPoint& point) {
+  Variant v = ParseVariant(point.variant, "feedback_loss_sweep");
+  if (point.shards > 0) {
+    CheckDumbbellIndivisible(FaultConfig(v));
+  }
+  FaultProfileSpec fault;
+  fault.target = FaultTarget::kCtl;
+  fault.loss_prob = point.Param("feedback_loss");
+  fault.seed = FaultSeed(point.seed);
+  return RunFaultTrial(v, fault, point.seed);
+}
+
+}  // namespace
+
+void RegisterFeedbackBlackout(ScenarioRegistry* registry) {
+  ScenarioSpec spec;
+  spec.name = "feedback_blackout";
+  spec.summary =
+      "Fault injection: 5 s total blackout of Bundler control messages on the "
+      "reverse link; the watchdog arm must degrade gracefully and re-sync";
+  spec.variants = {"status_quo", "bundler", "bundler_watchdog"};
+  spec.default_trials = 3;
+  registry->Register(std::move(spec), RunBlackoutTrial, []() {
+    Variant v;
+    v.bundler_on = true;
+    v.watchdog = true;
+    return BuildAndRenderDot(FaultedDumbbell(v, BlackoutProfile(1), nullptr, nullptr),
+                             "feedback_blackout");
+  });
+}
+
+void RegisterFeedbackLossSweep(ScenarioRegistry* registry) {
+  ScenarioSpec spec;
+  spec.name = "feedback_loss_sweep";
+  spec.summary =
+      "Fault injection: Bernoulli loss on Bundler control messages swept to "
+      "40%; locates where sparse-feedback tolerance ends";
+  spec.variants = {"status_quo", "bundler", "bundler_watchdog"};
+  spec.axes = {{"feedback_loss", {0.05, 0.1, 0.2, 0.4}}};
+  spec.default_trials = 3;
+  registry->Register(std::move(spec), RunLossSweepTrial, []() {
+    Variant v;
+    v.bundler_on = true;
+    v.watchdog = true;
+    FaultProfileSpec fault;
+    fault.target = FaultTarget::kCtl;
+    fault.loss_prob = 0.2;
+    return BuildAndRenderDot(FaultedDumbbell(v, fault, nullptr, nullptr),
+                             "feedback_loss_sweep");
+  });
+}
+
+}  // namespace runner
+}  // namespace bundler

@@ -55,7 +55,8 @@ double PassthroughFraction(const std::vector<std::pair<TimePoint, BundlerMode>>&
 }
 
 TrialResult RunTrial(const TrialPoint& point) {
-  bool warm = point.variant == "bundler_warm";
+  bool robust = point.variant == "bundler_robust";
+  bool warm = robust || point.variant == "bundler_warm";
   bool bundler_on = warm || point.variant == "bundler";
   BUNDLER_CHECK_MSG(bundler_on || point.variant == "status_quo",
                     "unknown fig10 variant '%s'", point.variant.c_str());
@@ -71,6 +72,11 @@ TrialResult RunTrial(const TrialPoint& point) {
   // controller from the observed egress rate at pass-through exits — the fix
   // for the phase-3 reproduction gap, kept out of the pinned default.
   cfg.sendbox.warm_restart = warm;
+  // The robust variant additionally gates pass-through exits on bottleneck
+  // busyness and scales the quiet-tick requirement on quick re-entry
+  // (Sendbox::Config::robust_elastic_exit) — the ROADMAP fix for phase 2
+  // flapping out of pass-through during the cross flow's quiet spells.
+  cfg.sendbox.robust_elastic_exit = robust;
   if (point.shards > 0) {
     CheckDumbbellIndivisible(cfg);  // 1 shard: legacy run == sharded run
   }
@@ -159,9 +165,10 @@ void RegisterFig10CrossTraffic(ScenarioRegistry* registry) {
   ScenarioSpec warm;
   warm.name = "fig10_warm_restart";
   warm.summary =
-      "Fig 10 timeline with warm controller restarts at pass-through exit; "
-      "the phase-3 fix, kept out of the pinned fig10_cross_traffic";
-  warm.variants = {"bundler_warm"};
+      "Fig 10 timeline with warm controller restarts at pass-through exit "
+      "(bundler_warm) plus robust busy-gated exits (bundler_robust); the "
+      "phase-2/3 fixes, kept out of the pinned fig10_cross_traffic";
+  warm.variants = {"bundler_warm", "bundler_robust"};
   warm.default_trials = 3;
   registry->Register(std::move(warm), RunTrial,
                      DumbbellTopology(topo, "fig10_warm_restart"));

@@ -103,8 +103,8 @@ NetBuilder DumbbellBuilder(const DumbbellConfig& config, DumbbellGraph* graph) {
   NetBuilder::LinkSpec reverse_spec;
   reverse_spec.rate = config.reverse_rate;
   reverse_spec.delay = config.rtt / 2;
-  reverse_spec.buffer_bytes = 64 * 1024 * 1024;
-  b.AddLink(g.reverse_agg, reverse_router, reverse_spec, "reverse");
+  reverse_spec.buffer_bytes = config.reverse_buffer_bytes;
+  g.reverse_link = b.AddLink(g.reverse_agg, reverse_router, reverse_spec, "reverse");
   for (int i = 0; i < config.num_bundles; ++i) {
     b.AddWire(reverse_router, g.servers[static_cast<size_t>(i)]);
   }

@@ -38,6 +38,10 @@ struct DumbbellConfig {
 
   Rate edge_rate = Rate::Gbps(1);
   Rate reverse_rate = Rate::Gbps(1);
+  // Effectively unbounded by default; narrow it together with reverse_rate
+  // to give the shared reverse path a provider-style capped standing queue
+  // (feedback-delay fault studies).
+  int64_t reverse_buffer_bytes = 64 * 1024 * 1024;
 
   // Monitoring knobs.
   TimeDelta rate_meter_window = TimeDelta::Millis(50);
@@ -58,6 +62,9 @@ struct DumbbellGraph {
   NetBuilder::EdgeId bottleneck = -1;
   std::vector<NetBuilder::EdgeId> edge_links;  // per-bundle server -> bottleneck router
   NetBuilder::NodeId reverse_agg = -1;  // entry router of the shared reverse path
+  // The shared fat reverse link (ACKs + Bundler feedback). Fault scenarios
+  // attach ctl-targeted profiles here via NetBuilder::AddFaultProfile.
+  NetBuilder::EdgeId reverse_link = -1;
   NetBuilder::MonitorId bottleneck_delay = -1;
   std::vector<NetBuilder::MonitorId> bundle_meters;
   NetBuilder::MonitorId cross_meter = -1;

@@ -234,6 +234,23 @@ NetBuilder::ScheduleId NetBuilder::AddLinkSchedule(EdgeId link,
   return static_cast<ScheduleId>(schedules_.size()) - 1;
 }
 
+NetBuilder::FaultId NetBuilder::AddFaultProfile(EdgeId link,
+                                                const FaultProfileSpec& spec) {
+  CheckEdge(link, "AddFaultProfile");
+  const EdgeDecl& edge = edges_[static_cast<size_t>(link)];
+  BUNDLER_CHECK_MSG(edge.kind == EdgeKind::kLink,
+                    "fault profile attached to '%s', which is not a plain link "
+                    "(wires deliver synchronously; fault individual multipath "
+                    "paths via their own links)",
+                    edge.name.c_str());
+  ValidateFaultProfile(spec, edge.name.c_str());
+  FaultDecl decl;
+  decl.edge = link;
+  decl.spec = spec;
+  faults_.push_back(std::move(decl));
+  return static_cast<FaultId>(faults_.size()) - 1;
+}
+
 void NetBuilder::Colocate(NodeId a, NodeId b) {
   CheckNode(a, "Colocate(a)");
   CheckNode(b, "Colocate(b)");
@@ -403,6 +420,22 @@ std::unique_ptr<Net> NetBuilder::BuildImpl(const std::vector<Simulator*>& sims,
     net->receiveboxes_[b] = std::make_unique<Receivebox>(
         sim_of(edges_[e].to), rc, /*forward=*/delivery[e], /*reverse=*/nullptr);
     delivery[e] = net->receiveboxes_[b].get();
+  }
+
+  // --- Phase 4b: fault injectors wrap each faulted edge's delivery chain
+  // (passive: nothing is scheduled until a packet is held). Built in reverse
+  // declaration order so the first-declared profile is outermost — it acts
+  // first on arriving packets, before later profiles and the receiveboxes.
+  // The injector executes where the edge delivers, which also covers shard-
+  // boundary links (the channel's dst below is the wrapped chain). ---
+  net->fault_injectors_.resize(faults_.size());
+  for (size_t f = faults_.size(); f-- > 0;) {
+    const FaultDecl& fault = faults_[f];
+    const size_t e = static_cast<size_t>(fault.edge);
+    net->fault_injectors_[f] = std::make_unique<FaultInjector>(
+        sim_of(edges_[e].to), edges_[e].name + ".f" + std::to_string(f),
+        fault.spec, /*next=*/delivery[e]);
+    delivery[e] = net->fault_injectors_[f].get();
   }
 
   // --- Phase 5: edge entries + link destinations. ---
@@ -675,6 +708,11 @@ std::string NetBuilder::ToDot(const std::string& graph_name) const {
                  (sched.repeat_period.IsZero() ? ")" : ", looped)");
       }
     }
+    for (size_t f = 0; f < faults_.size(); ++f) {
+      if (faults_[f].edge == static_cast<EdgeId>(e)) {
+        attrs += "\\n(fault f" + std::to_string(f) + ")";
+      }
+    }
     dot += "  n" + std::to_string(edge.from) + " -> n" + std::to_string(edge.to) +
            " [" + attrs + "\"];\n";
   }
@@ -778,6 +816,12 @@ LinkScheduleDriver* Net::link_schedule(NetBuilder::ScheduleId id) {
   BUNDLER_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < link_schedules_.size(),
                     "no link schedule %d", id);
   return link_schedules_[static_cast<size_t>(id)].get();
+}
+
+FaultInjector* Net::fault_injector(NetBuilder::FaultId id) {
+  BUNDLER_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < fault_injectors_.size(),
+                    "no fault profile %d", id);
+  return fault_injectors_[static_cast<size_t>(id)].get();
 }
 
 }  // namespace bundler

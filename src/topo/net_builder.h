@@ -26,6 +26,7 @@
 
 #include "src/bundler/receivebox.h"
 #include "src/bundler/sendbox.h"
+#include "src/net/fault_injector.h"
 #include "src/net/link.h"
 #include "src/net/link_schedule.h"
 #include "src/net/monitors.h"
@@ -53,6 +54,7 @@ class NetBuilder {
   using BundleId = int;
   using MonitorId = int;
   using ScheduleId = int;
+  using FaultId = int;
 
   // Per-link configuration. The default queue is a byte-limited drop-tail
   // FIFO; `qdisc_factory` overrides it (e.g. DRR for an in-network fair
@@ -110,6 +112,16 @@ class NetBuilder {
   ScheduleId AddLinkSchedule(EdgeId link, std::vector<LinkEventSpec> events,
                              TimeDelta repeat_period = TimeDelta::Zero());
 
+  // --- Fault injection (src/net/fault_injector.h) ---
+  // Attaches a seeded fault profile to a plain link's delivery path: packets
+  // that finish propagation pass through the injector (drop / burst-drop /
+  // blackout / bounded reorder) before reaching receiveboxes and the node
+  // entry. Validated here (CHECK-fails on malformed specs, wires, multipath
+  // edges). Multiple profiles on one link compose; the first-declared profile
+  // acts first on arriving packets. Declaring no profiles leaves the build
+  // byte-identical to a fault-free one (no components registered).
+  FaultId AddFaultProfile(EdgeId link, const FaultProfileSpec& spec);
+
   // --- Partitioning (conservative parallel DES; see topo/partition.h) ---
   // Declares that `a` and `b` must land in the same shard. Use for couplings
   // the partitioner cannot see from the graph alone (e.g. a scenario that
@@ -124,6 +136,7 @@ class NetBuilder {
   size_t num_edges() const { return edges_.size(); }
   size_t num_bundles() const { return bundles_.size(); }
   size_t num_link_schedules() const { return schedules_.size(); }
+  size_t num_fault_profiles() const { return faults_.size(); }
 
   // Validates the declared graph and materializes it into `sim`. CHECK-fails
   // with a readable message on graph errors. May be called more than once
@@ -178,6 +191,10 @@ class NetBuilder {
     std::vector<LinkEventSpec> events;
     TimeDelta repeat_period = TimeDelta::Zero();  // zero => one-shot timeline
   };
+  struct FaultDecl {
+    EdgeId edge = -1;
+    FaultProfileSpec spec;
+  };
 
   NodeId CheckNode(NodeId id, const char* what) const;
   EdgeId CheckEdge(EdgeId id, const char* what) const;
@@ -191,6 +208,7 @@ class NetBuilder {
   std::vector<BundleSpec> bundles_;
   std::vector<MonitorDecl> monitors_;
   std::vector<ScheduleDecl> schedules_;
+  std::vector<FaultDecl> faults_;
   std::vector<std::pair<NodeId, NodeId>> colocate_;
 };
 
@@ -228,6 +246,8 @@ class Net {
 
   LinkScheduleDriver* link_schedule(NetBuilder::ScheduleId id);
 
+  FaultInjector* fault_injector(NetBuilder::FaultId id);
+
  private:
   friend class NetBuilder;
   explicit Net(Simulator* sim) : sim_(sim) {}
@@ -247,6 +267,7 @@ class Net {
   std::vector<std::unique_ptr<QueueDelayMonitor>> queue_monitors_;
   std::vector<std::unique_ptr<RateMeter>> rate_meters_;
   std::vector<std::unique_ptr<LinkScheduleDriver>> link_schedules_;
+  std::vector<std::unique_ptr<FaultInjector>> fault_injectors_;
 };
 
 }  // namespace bundler

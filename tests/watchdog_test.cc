@@ -1,0 +1,188 @@
+// Sendbox feedback watchdog (src/bundler/sendbox.h Config::watchdog): the
+// control-loop survival state machine. A FaultInjector with a feedback-only
+// blackout window sits on the dumbbell's reverse path, and the tests walk the
+// documented lifecycle off the sendbox's watchdog_log(): staleness past
+// `watchdog_timeout` degrades (shaper opened to max_rate, mode machinery
+// frozen), re-probes back off exponentially from `watchdog_probe_initial`,
+// and the first fresh feedback after the outage re-syncs immediately and
+// hands the rate back to the live controller.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/app/workload.h"
+#include "src/net/fault_injector.h"
+#include "src/topo/dumbbell.h"
+
+namespace bundler {
+namespace {
+
+using WdEvent = Sendbox::WatchdogEvent;
+
+TimePoint Sec(double s) { return TimePoint::Zero() + TimeDelta::SecondsF(s); }
+
+constexpr double kBlackoutStart = 5.0;
+constexpr double kBlackoutEnd = 10.0;
+
+struct WatchdogRun {
+  Simulator sim;
+  DumbbellConfig cfg;
+  std::unique_ptr<Dumbbell> net;
+  std::unique_ptr<FaultInjector> inj;
+
+  explicit WatchdogRun(bool watchdog, double blackout_start = kBlackoutStart,
+                       double blackout_end = kBlackoutEnd) {
+    cfg.bottleneck_rate = Rate::Mbps(48);
+    cfg.rtt = TimeDelta::Millis(40);
+    cfg.sendbox.watchdog = watchdog;
+    cfg.sendbox.warm_restart = watchdog;
+    net = std::make_unique<Dumbbell>(&sim, cfg);
+
+    FaultProfileSpec spec;
+    spec.target = FaultTarget::kFeedbackOnly;
+    spec.blackouts = {{TimeDelta::SecondsF(blackout_start),
+                       TimeDelta::SecondsF(blackout_end)}};
+    ValidateFaultProfile(spec, "watchdog_test");
+    inj = std::make_unique<FaultInjector>(&sim, "reverse", spec,
+                                          net->reverse_path());
+    net->receivebox()->set_reverse(inj.get());
+
+    StartBulkFlows(&sim, net->flows(), net->server(), net->client(), 4,
+                   HostCcType::kCubic, TimePoint::Zero());
+  }
+
+  std::vector<std::pair<TimePoint, WdEvent>> Events(WdEvent kind) const {
+    std::vector<std::pair<TimePoint, WdEvent>> out;
+    for (const auto& e : net->sendbox()->watchdog_log()) {
+      if (e.second == kind) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  }
+};
+
+TEST(WatchdogTest, StaleFeedbackDegradesAndOpensShaper) {
+  WatchdogRun r(/*watchdog=*/true);
+  // Stop just inside the blackout, after the timeout has elapsed.
+  r.sim.RunUntil(Sec(7.0));
+  auto degrades = r.Events(WdEvent::kDegrade);
+  ASSERT_EQ(degrades.size(), 1u);
+  // Degrade fires on the first control tick after `watchdog_timeout` (500 ms)
+  // of staleness; one tick of quantization slack.
+  const double t = (degrades[0].first - TimePoint::Zero()).ToSeconds();
+  EXPECT_GE(t, kBlackoutStart + 0.5);
+  EXPECT_LE(t, kBlackoutStart + 0.6);
+  // Graceful degradation == status quo: the shaper is wide open.
+  EXPECT_TRUE(r.net->sendbox()->watchdog_degraded());
+  EXPECT_EQ(r.net->sendbox()->current_rate(), r.cfg.sendbox.max_rate);
+  EXPECT_TRUE(r.Events(WdEvent::kResync).empty());
+}
+
+TEST(WatchdogTest, ProbesBackOffExponentially) {
+  WatchdogRun r(/*watchdog=*/true);
+  r.sim.RunUntil(Sec(kBlackoutEnd));
+  auto probes = r.Events(WdEvent::kProbe);
+  // Degrade at ~5.51 s, probes at +250 ms then doubling gaps: ~5.76, 6.26,
+  // 7.26, 9.26 s; the next (13.26 s) falls outside the blackout.
+  ASSERT_EQ(probes.size(), 4u);
+  double prev_gap = 0;
+  TimePoint prev = r.Events(WdEvent::kDegrade)[0].first;
+  for (const auto& [at, ev] : probes) {
+    const double gap = (at - prev).ToSeconds();
+    if (prev_gap > 0) {
+      // Each inter-probe gap doubles (10 ms tick quantization slack).
+      EXPECT_NEAR(gap, 2 * prev_gap, 0.03);
+    } else {
+      EXPECT_NEAR(gap, 0.25, 0.02);
+    }
+    prev_gap = gap;
+    prev = at;
+  }
+}
+
+TEST(WatchdogTest, ResyncsWithinOneEpochAndRestoresControl) {
+  WatchdogRun r(/*watchdog=*/true);
+  r.sim.RunUntil(Sec(15.0));
+  auto resyncs = r.Events(WdEvent::kResync);
+  ASSERT_EQ(resyncs.size(), 1u);
+  // The first matched feedback after the outage ends the degradation: within
+  // one epoch (~RTT) plus a control tick of the blackout lifting.
+  const double t = (resyncs[0].first - TimePoint::Zero()).ToSeconds();
+  EXPECT_GE(t, kBlackoutEnd);
+  EXPECT_LE(t, kBlackoutEnd + 0.2);
+  EXPECT_FALSE(r.net->sendbox()->watchdog_degraded());
+  // Control re-engaged: the live controller shapes near the bottleneck rate
+  // again instead of the wide-open degraded rate.
+  EXPECT_LT(r.net->sendbox()->current_rate().bps(),
+            r.cfg.sendbox.max_rate.bps() / 2);
+  EXPECT_EQ(r.Events(WdEvent::kDegrade).size(), 1u);
+}
+
+TEST(WatchdogTest, NeverDegradesBeforeTheLoopFirstCloses) {
+  // Feedback dead from t=0: the loop never closed, so staleness is startup,
+  // not an outage — the endhost stack owns that regime (§4.5 fallback).
+  WatchdogRun r(/*watchdog=*/true, 0.0, 60.0);
+  r.sim.RunUntil(Sec(20.0));
+  EXPECT_TRUE(r.net->sendbox()->watchdog_log().empty());
+  EXPECT_FALSE(r.net->sendbox()->watchdog_degraded());
+}
+
+TEST(WatchdogTest, UncontrollableDelayDegradesOutOfDelayControl) {
+  // The asym_reverse collapse in miniature: the reverse path narrows and two
+  // bulk flows keep its queue standing, so every feedback epoch reports a
+  // loop RTT inflated by hundreds of ms of *reverse* queueing. Feedback
+  // never goes stale — it just measures a delay the shaper cannot drain —
+  // and delay control would strangle the bundle indefinitely. The contract
+  // trigger must degrade instead.
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck_rate = Rate::Mbps(48);
+  cfg.rtt = TimeDelta::Millis(40);
+  cfg.reverse_rate = Rate::Mbps(4);
+  // Provider-style capped queue: the reverse delay saturates around 256 ms
+  // instead of growing without bound, so feedback keeps arriving (late)
+  // rather than effectively stopping — the delay cause must stick, not
+  // promote to staleness.
+  cfg.reverse_buffer_bytes = 128 * 1024;
+  cfg.sendbox.watchdog = true;
+  cfg.sendbox.warm_restart = true;
+  Dumbbell net(&sim, cfg);
+  StartBulkFlows(&sim, net.flows(), net.server(), net.client(), 4,
+                 HostCcType::kCubic, TimePoint::Zero());
+  // Let the loop close and min_rtt settle on the clean path first, then
+  // congest the reverse direction.
+  StartBulkFlows(&sim, net.flows(), net.client(), net.server(), 2,
+                 HostCcType::kCubic, Sec(2.0));
+  sim.RunUntil(Sec(15.0));
+
+  std::vector<std::pair<TimePoint, Sendbox::WatchdogEvent>> degrades;
+  for (const auto& e : net.sendbox()->watchdog_log()) {
+    if (e.second == WdEvent::kDegrade) {
+      degrades.push_back(e);
+    }
+  }
+  ASSERT_GE(degrades.size(), 1u);
+  // The violation clock needs `watchdog_timeout` of unbroken excess, so the
+  // earliest possible degrade is 2.5 s; the reverse queue takes a moment to
+  // stand, so allow a few seconds of slow-start slack.
+  const double t = (degrades[0].first - TimePoint::Zero()).ToSeconds();
+  EXPECT_GE(t, 2.5);
+  EXPECT_LE(t, 8.0);
+  // Still degraded at the end — the reverse congestion never clears — with
+  // the delay cause recorded and the shaper wide open.
+  EXPECT_TRUE(net.sendbox()->watchdog_degraded());
+  EXPECT_EQ(net.sendbox()->watchdog_cause(), Sendbox::WatchdogCause::kDelay);
+  EXPECT_EQ(net.sendbox()->current_rate(), cfg.sendbox.max_rate);
+}
+
+TEST(WatchdogTest, OffByDefaultRecordsNothing) {
+  WatchdogRun r(/*watchdog=*/false);
+  r.sim.RunUntil(Sec(12.0));
+  EXPECT_TRUE(r.net->sendbox()->watchdog_log().empty());
+  EXPECT_FALSE(r.net->sendbox()->watchdog_degraded());
+}
+
+}  // namespace
+}  // namespace bundler
