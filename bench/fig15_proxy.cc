@@ -4,20 +4,21 @@
 // the rest of Bundler unchanged. Short requests see no benefit (they finish
 // inside slow start either way); medium-to-long requests gain because they
 // skip window growth.
+//
+// Thin wrapper over the "fig15_proxy" registered scenario (src/runner),
+// whose bundler variants run through the multi-tenant SendboxManager.
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/runner/builtin_scenarios.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/trial_runner.h"
 
 namespace bundler {
 namespace {
-
-struct Variant {
-  std::string name;
-  bool bundler;
-  HostCcType host_cc;
-};
 
 void Run() {
   bench::PrintHeader(
@@ -25,39 +26,32 @@ void Run() {
       "short requests unchanged; medium/long requests gain from skipping "
       "window growth");
 
-  const std::vector<Variant> variants = {
-      {"StatusQuo", false, HostCcType::kCubic},
-      {"Bundler", true, HostCcType::kCubic},
-      {"Bundler+Proxy", true, HostCcType::kConstCwnd},
+  runner::ScenarioSummary summary = bench::RunRegisteredScenario("fig15_proxy");
+
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"status_quo", "StatusQuo"},
+      {"bundler", "Bundler"},
+      {"bundler_proxy", "Bundler+Proxy"},
+  };
+  const std::vector<std::pair<std::string, std::string>> buckets = {
+      {"all", "all"},
+      {"small", "<10KB"},
+      {"medium", "10KB-1MB"},
+      {"large", ">1MB"},
   };
 
-  IdealFctCache ideal(Rate::Mbps(96), TimeDelta::Millis(50), HostCcType::kCubic);
-  IdealFctFn ideal_fn = ideal.Fn();
-
   Table table({"config", "bucket", "median", "p75", "p99", "n"});
-  double med_small[3], med_medium[3], med_large[3];
-
-  for (size_t v = 0; v < variants.size(); ++v) {
-    ExperimentConfig cfg = bench::PaperScenario(variants[v].bundler);
-    cfg.host_cc = variants[v].host_cc;
-    cfg.const_cwnd_pkts = 450.0;
-    if (variants[v].host_cc == HostCcType::kConstCwnd) {
-      // The proxy must absorb every pinned window at the sendbox (§7.5:
-      // "increasing the buffering at the sendbox to hold these packets").
-      cfg.net.sendbox.queue_limit_pkts = 40000;
-    }
-    Experiment e(cfg);
-    e.Run();
-    auto buckets = bench::SizeBuckets(TimePoint::Zero() + cfg.warmup);
-    const char* bucket_names[4] = {"all", "<10KB", "10KB-1MB", ">1MB"};
-    for (size_t b = 0; b < buckets.size(); ++b) {
-      QuantileEstimator q = e.fct()->Slowdowns(ideal_fn, buckets[b].second);
-      table.AddRow({variants[v].name, bucket_names[b], Table::Num(q.Median()),
-                    Table::Num(q.Quantile(0.75)), Table::Num(q.Quantile(0.99)),
-                    std::to_string(q.count())});
-      if (b == 1) med_small[v] = q.Median();
-      if (b == 2) med_medium[v] = q.Median();
-      if (b == 3) med_large[v] = q.Median();
+  std::map<std::string, double> med_small, med_medium, med_large;
+  for (const auto& [variant, label] : variants) {
+    const runner::CellSummary* cell = runner::FindCell(summary, variant);
+    BUNDLER_CHECK(cell != nullptr);
+    for (const auto& [key, name] : buckets) {
+      const runner::SampleStat& s = cell->samples.at("slowdown_" + key);
+      table.AddRow({label, name, Table::Num(s.median), Table::Num(s.p75),
+                    Table::Num(s.p99), std::to_string(s.n)});
+      if (key == "small") med_small[variant] = s.median;
+      if (key == "medium") med_medium[variant] = s.median;
+      if (key == "large") med_large[variant] = s.median;
     }
   }
   table.Print();
@@ -65,8 +59,9 @@ void Run() {
   bench::PrintHeadline(
       "short flows: Bundler %.2f vs Proxy %.2f (paper: no change); medium: "
       "%.2f vs %.2f, large: %.2f vs %.2f (paper: proxy helps medium/long)",
-      med_small[1], med_small[2], med_medium[1], med_medium[2], med_large[1],
-      med_large[2]);
+      med_small["bundler"], med_small["bundler_proxy"], med_medium["bundler"],
+      med_medium["bundler_proxy"], med_large["bundler"],
+      med_large["bundler_proxy"]);
 }
 
 }  // namespace

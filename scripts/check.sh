@@ -97,6 +97,50 @@ cmp <(stable build/smoke_ft_s1/fat_tree_incast.json) \
 cmp <(stable build/smoke_ft_s1/fat_tree_incast.csv) \
     <(stable build/smoke_ft_s4/fat_tree_incast.csv)
 
+echo "--- golden byte-identity: the 1-tenant facade must match the pre-split sendbox"
+# tests/golden/ holds fig09/fig10/fig13 outputs pinned before the sendbox was
+# split into BundleController + SiteEgress + SendboxManager. The refactor's
+# core contract is that the classic facade is bit-for-bit unchanged: same
+# seeds, same JSON and CSV, forever. Regenerate the pins ONLY for an
+# intentional, explained behavior change.
+for scenario in fig09_fct fig10_cross_traffic fig13_competing_bundles; do
+  ./build/bundler_run --scenario "${scenario}" --trials 1 \
+    --out build/smoke_golden --quiet > /dev/null
+  cmp <(stable "build/smoke_golden/${scenario}.json") \
+      <(stable "tests/golden/${scenario}.json")
+  cmp <(stable "build/smoke_golden/${scenario}.csv") \
+      <(stable "tests/golden/${scenario}.csv")
+  echo "  ${scenario}: golden OK"
+done
+
+echo "--- smoke scenario: cdn_edge_flash_crowd (multi-tenant admission + isolation)"
+# 200+ tenant bundles through one SendboxManager: admission must reject the
+# over-budget tail with explicit counters, and the run must stay
+# byte-identical across worker threads and conservative shards.
+./build/bundler_run --scenario cdn_edge_flash_crowd --trials 1 \
+  --out build/smoke_cdn --quiet
+./build/bundler_run --scenario cdn_edge_flash_crowd --trials 1 --threads 4 \
+  --out build/smoke_cdn_t4 --quiet > /dev/null
+cmp <(stable build/smoke_cdn/cdn_edge_flash_crowd.json) \
+    <(stable build/smoke_cdn_t4/cdn_edge_flash_crowd.json)
+cmp <(stable build/smoke_cdn/cdn_edge_flash_crowd.csv) \
+    <(stable build/smoke_cdn_t4/cdn_edge_flash_crowd.csv)
+./build/bundler_run --scenario cdn_edge_flash_crowd --trials 1 --shards 4 \
+  --out build/smoke_cdn_s4 --quiet > /dev/null
+cmp <(stable build/smoke_cdn/cdn_edge_flash_crowd.json) \
+    <(stable build/smoke_cdn_s4/cdn_edge_flash_crowd.json)
+python3 - build/smoke_cdn/cdn_edge_flash_crowd.json <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+managed = next(c for c in cells if c["variant"] == "managed")
+s = {k: v["mean"] for k, v in managed["scalars"].items()}
+assert s["admitted"] >= 200, s
+assert s["rejected"] >= 1, s
+assert s["ctr.admit.s1.rejected_budget"] == s["rejected"], s
+print(f"  admission: {s['admitted']:.0f} admitted, "
+      f"{s['rejected']:.0f} rejected (budget), counters agree")
+EOF
+
 echo "--- smoke scenario: feedback_blackout (faulted control loop + watchdog)"
 # A faulted run must stay byte-identical across thread and shard counts: the
 # injector draws RNG only for targeted packets in arrival order, which the

@@ -1,0 +1,510 @@
+#include "src/bundler/bundle_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/bundler/epoch.h"
+#include "src/util/check.h"
+
+namespace bundler {
+
+const char* BundlerModeName(BundlerMode mode) {
+  switch (mode) {
+    case BundlerMode::kDelayControl:
+      return "delay_control";
+    case BundlerMode::kPassThrough:
+      return "pass_through";
+    case BundlerMode::kDisabled:
+      return "disabled";
+  }
+  return "?";
+}
+
+BundleController::BundleController(Simulator* sim,
+                                   const BundleControlConfig& config,
+                                   BundleDataplane* dataplane,
+                                   const std::string& obs_name)
+    : sim_(sim),
+      config_(config),
+      dp_(dataplane),
+      meas_(config.measurement),
+      cc_(MakeBundleCc(config.cc, config.initial_rate)),
+      detector_(config.nimbus),
+      pi_(config.pi),
+      mode_entered_(sim->now()),
+      epoch_pkts_(config.initial_epoch_pkts),
+      last_epoch_update_(sim->now()),
+      last_epoch_ctl_sent_(sim->now()) {
+  BUNDLER_CHECK(sim_ != nullptr);
+  BUNDLER_CHECK(dp_ != nullptr);
+  BUNDLER_CHECK(epoch_pkts_ != 0 && (epoch_pkts_ & (epoch_pkts_ - 1)) == 0);
+  mode_log_.emplace_back(sim_->now(), mode_);
+  start_time_ = sim_->now();
+
+  // Observability wiring. `obs_name` names every component and counter this
+  // loop owns; a standalone sendbox passes its site pair, a manager passes a
+  // tenant-qualified name, so counter names collide exactly when two
+  // controllers genuinely are the same bundle.
+  obs::Tracer& tracer = sim_->trace();
+  obs::CounterRegistry& reg = sim_->counters();
+  comp_ = tracer.RegisterComponent("sendbox", obs_name);
+  cc_comp_ = tracer.RegisterComponent("cc", obs_name);
+  ctr_mode_transitions_ = reg.Counter("sendbox." + obs_name + ".mode_transitions");
+  ctr_rate_updates_ = reg.Counter("sendbox." + obs_name + ".rate_updates");
+  ctr_cc_updates_ = reg.Counter("cc." + obs_name + ".rate_updates");
+  ctr_cc_resets_ = reg.Counter("cc." + obs_name + ".resets");
+  if (config_.watchdog) {
+    ctr_wd_degrades_ = reg.Counter("watchdog." + obs_name + ".degrades");
+    ctr_wd_probes_ = reg.Counter("watchdog." + obs_name + ".probes");
+    ctr_wd_resyncs_ = reg.Counter("watchdog." + obs_name + ".resyncs");
+  }
+  passthrough_frac_ = reg.Gauge("sendbox." + obs_name + ".passthrough_frac");
+  detector_.BindObs(&tracer, tracer.RegisterComponent("nimbus", obs_name),
+                    reg.Counter("nimbus." + obs_name + ".evals"));
+  pi_.BindObs(&tracer, tracer.RegisterComponent("pi", obs_name),
+              reg.Counter("pi." + obs_name + ".rate_updates"),
+              reg.Counter("pi." + obs_name + ".resets"));
+}
+
+void BundleController::OnFeedback(const Packet& pkt) {
+  meas_.OnFeedback(pkt.boundary_hash, pkt.fb_bytes_received, sim_->now());
+}
+
+void BundleController::OnDataSent(const Packet& pkt) {
+  bytes_sent_ += pkt.size_bytes;
+  uint64_t hash = BoundaryHash(pkt);
+  if (IsEpochBoundary(hash, epoch_pkts_)) {
+    meas_.OnBoundarySent(hash, sim_->now(), bytes_sent_);
+  }
+}
+
+void BundleController::SwitchMode(BundlerMode next) {
+  if (next == mode_) {
+    return;
+  }
+  TimePoint now = sim_->now();
+  const BundlerMode prev = mode_;
+  const TimeDelta dwell = now - mode_entered_;
+  if (prev == BundlerMode::kPassThrough) {
+    passthrough_accum_ += dwell;
+  }
+  ++*ctr_mode_transitions_;
+  if (sim_->trace().enabled(obs::TraceCat::kMode)) {
+    sim_->trace().Trace(obs::TraceCat::kMode, obs::TraceEv::kModeSwitch, comp_,
+                        now, static_cast<uint64_t>(next),
+                        static_cast<uint64_t>(prev),
+                        static_cast<uint64_t>(dwell.nanos()));
+  }
+  mode_ = next;
+  mode_entered_ = now;
+  elastic_ticks_ = 0;
+  nonelastic_ticks_ = 0;
+  mp_grace_cleared_ = false;
+  mode_log_.emplace_back(now, next);
+  switch (next) {
+    case BundlerMode::kDelayControl:
+      // Coming back from pass-through/disabled. Cold restart relearns the
+      // path from `initial_rate`; with warm_restart the controller instead
+      // seeds from the measured egress rate, so the bundle keeps roughly its
+      // pre-switch share while the controller converges.
+      ReseedController(now);
+      break;
+    case BundlerMode::kPassThrough: {
+      Rate start = std::max(detector_.mu_estimate(), dp_->ShapedRate());
+      pi_.Reset(start, dp_->QueueBytes(), now);
+      break;
+    }
+    case BundlerMode::kDisabled:
+      break;
+  }
+}
+
+void BundleController::UpdateMode(const BundleMeasurement& m) {
+  (void)m;
+  TimePoint now = sim_->now();
+  TimeDelta dwell = now - mode_entered_;
+
+  if (config_.multipath_detection) {
+    if (mode_ == BundlerMode::kDelayControl && dwell < config_.multipath_eval_grace) {
+      return;  // let the controller settle before judging ordering
+    }
+    if (mode_ == BundlerMode::kDelayControl && !mp_grace_cleared_) {
+      meas_.ResetOooHistory();
+      mp_grace_cleared_ = true;
+      return;
+    }
+    double frac = meas_.OutOfOrderFraction(now);
+    if (mode_ != BundlerMode::kDisabled && frac > config_.ooo_disable_threshold) {
+      // Exponential probe backoff: if the last delay-control attempt survived
+      // only briefly, wait longer before the next probe.
+      bool probe_failed_quickly =
+          last_disabled_exit_ != TimePoint() &&
+          now - last_disabled_exit_ < TimeDelta::Seconds(10);
+      if (disabled_probe_backoff_.IsZero() || !probe_failed_quickly) {
+        disabled_probe_backoff_ = config_.disabled_min_dwell;
+      } else {
+        disabled_probe_backoff_ =
+            std::min(disabled_probe_backoff_ * 2.0, config_.disabled_probe_max);
+      }
+      SwitchMode(BundlerMode::kDisabled);
+      return;
+    }
+    if (mode_ == BundlerMode::kDisabled) {
+      if (frac < config_.ooo_enable_threshold && dwell > config_.disabled_min_dwell) {
+        last_disabled_exit_ = now;
+        SwitchMode(BundlerMode::kDelayControl);
+      } else if (dwell > disabled_probe_backoff_) {
+        // Probe: ordering measured under status-quo queueing says little
+        // about how delay control would fare; try it with a clean slate.
+        meas_.ResetOooHistory();
+        last_disabled_exit_ = now;
+        SwitchMode(BundlerMode::kDelayControl);
+      }
+      return;
+    }
+  }
+
+  if (!config_.nimbus_detection) {
+    return;
+  }
+  if (detector_.last_sample_busy()) {
+    ++busy_run_ticks_;
+  } else {
+    busy_run_ticks_ = 0;
+  }
+  if (detector_.IsElastic()) {
+    ++elastic_ticks_;
+    nonelastic_ticks_ = 0;
+  } else if (detector_.elasticity_metric() < config_.elastic_exit_metric) {
+    // Robust exits gate the counter on bottleneck busyness: in pass-through
+    // the sendbox rarely has a backlog, so the probe pulse cannot modulate
+    // egress and a quiet verdict while the bottleneck still holds a standing
+    // queue is uninformative. Quiet+idle ticks are evidence the cross
+    // traffic left and count up; quiet+busy ticks count *down* (floor 0), so
+    // a mostly-busy bottleneck — a live competitor with brief idle dips
+    // during its loss recovery — never accumulates exit evidence, while a
+    // mostly-idle one (only the bundle's own transient bursts) still exits
+    // within ~exit_ticks / (2*idle_frac - 1) ticks.
+    if (!config_.robust_elastic_exit || !detector_.last_sample_busy()) {
+      ++nonelastic_ticks_;
+    } else if (nonelastic_ticks_ > 0) {
+      --nonelastic_ticks_;
+    }
+    elastic_ticks_ = 0;
+  }
+  // Robust busy entry: delay control keeps the bundle's own standing queue
+  // ~1 ms (below the detector's busy threshold), so an uninterrupted
+  // multi-second standing queue means buffer-filling cross traffic even
+  // before the FFT metric classifies it.
+  const bool busy_enter =
+      config_.robust_elastic_exit &&
+      busy_run_ticks_ >= config_.elastic_busy_enter_ticks;
+  // Metric between the exit and enter thresholds: hold the current mode.
+  const int exit_ticks =
+      config_.elastic_exit_ticks *
+      (config_.robust_elastic_exit ? elastic_exit_scale_ : 1);
+  if (mode_ == BundlerMode::kDelayControl &&
+      (elastic_ticks_ >= config_.elastic_enter_ticks || busy_enter) &&
+      dwell > config_.mode_min_dwell) {
+    if (config_.robust_elastic_exit) {
+      // Probe-and-commit: the previous exit *was* the probe (delay control
+      // with the reseeded controller). Bouncing straight back means the
+      // cross traffic never left, so demand more quiet evidence next time;
+      // a re-entry long after the exit is a genuinely new episode.
+      elastic_exit_scale_ =
+          last_elastic_exit_ != TimePoint() &&
+                  now - last_elastic_exit_ < config_.elastic_reentry_window
+              ? std::min(elastic_exit_scale_ * 2, 8)
+              : 1;
+    }
+    SwitchMode(BundlerMode::kPassThrough);
+  } else if (mode_ == BundlerMode::kPassThrough &&
+             nonelastic_ticks_ >= exit_ticks &&
+             dwell > config_.mode_min_dwell) {
+    last_elastic_exit_ = now;
+    SwitchMode(BundlerMode::kDelayControl);
+  }
+}
+
+void BundleController::MaybeUpdateEpochSize(const BundleMeasurement& m) {
+  (void)m;
+  if (!meas_.has_min_rtt()) {
+    return;
+  }
+  TimePoint now = sim_->now();
+  Rate basis =
+      egress_rate_bps_ > 0 ? Rate::BitsPerSec(egress_rate_bps_) : dp_->ShapedRate();
+  uint32_t desired = ComputeEpochSizePkts(meas_.min_rtt(), basis);
+  if (desired != epoch_pkts_ && now - last_epoch_update_ >= meas_.srtt()) {
+    epoch_pkts_ = desired;
+    last_epoch_update_ = now;
+    if (sim_->trace().enabled(obs::TraceCat::kSendbox)) {
+      sim_->trace().Trace(obs::TraceCat::kSendbox, obs::TraceEv::kSbEpoch,
+                          comp_, now, desired,
+                          static_cast<uint64_t>(meas_.srtt().nanos()));
+    }
+    SendEpochCtl();
+    return;
+  }
+  // Refresh the receivebox periodically in case a control message was lost.
+  if (now - last_epoch_ctl_sent_ > TimeDelta::Seconds(1)) {
+    SendEpochCtl();
+  }
+}
+
+void BundleController::ReseedController(TimePoint now) {
+  cc_->Reset(now, config_.warm_restart && egress_rate_bps_ > 0
+                      ? Rate::BitsPerSec(egress_rate_bps_)
+                      : Rate::Zero());
+  ++*ctr_cc_resets_;
+  if (sim_->trace().enabled(obs::TraceCat::kCc)) {
+    sim_->trace().Trace(obs::TraceCat::kCc, obs::TraceEv::kCcReset, cc_comp_,
+                        now, obs::EncodeRate(cc_->TargetRate()));
+  }
+}
+
+void BundleController::WatchdogTick(const BundleMeasurement& m) {
+  TimePoint now = sim_->now();
+  if (m.fresh) {
+    if (!wd_seen_feedback_) {
+      wd_seen_feedback_ = true;
+      wd_qdel_ok_ = now;
+    }
+    wd_last_fresh_ = now;
+  }
+  if (!wd_seen_feedback_) {
+    return;  // the loop never closed yet; startup is the cc's job, not ours
+  }
+  const TimeDelta staleness = now - wd_last_fresh_;
+  const TimeDelta qdel =
+      m.inst_rtt > m.min_rtt ? m.inst_rtt - m.min_rtt : TimeDelta::Zero();
+  if (wd_degraded_) {
+    if (wd_cause_ == WatchdogCause::kDelay &&
+        staleness > config_.watchdog_timeout) {
+      // The reverse path went from congested to dead: feedback stopped
+      // flowing entirely mid-degradation. Promote to the staleness
+      // lifecycle so the exponential-backoff probing resumes.
+      wd_cause_ = WatchdogCause::kStale;
+      wd_probe_backoff_ = config_.watchdog_probe_initial;
+      wd_next_probe_ = now + wd_probe_backoff_;
+      return;
+    }
+    // Re-sync condition per cause: any matched feedback ends a blackout,
+    // but a delay-cause degradation needs the delay itself to clear — the
+    // congested queue's sawtooth grazes the budget, so require half of it.
+    const bool recovered =
+        m.fresh && (wd_cause_ == WatchdogCause::kStale ||
+                    qdel <= config_.watchdog_qdel_budget * 0.5);
+    if (recovered) {
+      // The controller that rules the current mode restarts from live state
+      // (through the warm_restart seeding path) instead of resuming its
+      // stale pre-outage trajectory.
+      wd_degraded_ = false;
+      wd_cause_ = WatchdogCause::kNone;
+      wd_qdel_ok_ = now;
+      const TimeDelta degraded_for = now - wd_degraded_since_;
+      if (mode_ == BundlerMode::kDelayControl) {
+        ReseedController(now);
+      } else if (mode_ == BundlerMode::kPassThrough) {
+        pi_.Reset(std::max(detector_.mu_estimate(), dp_->ShapedRate()),
+                  dp_->QueueBytes(), now);
+      }
+      ++*ctr_wd_resyncs_;
+      wd_log_.emplace_back(now, WatchdogEvent::kResync);
+      if (sim_->trace().enabled(obs::TraceCat::kWatchdog)) {
+        sim_->trace().Trace(obs::TraceCat::kWatchdog, obs::TraceEv::kWdResync,
+                            comp_, now,
+                            static_cast<uint64_t>(degraded_for.nanos()),
+                            obs::EncodeRate(dp_->ShapedRate()));
+      }
+      return;
+    }
+    if (wd_cause_ == WatchdogCause::kStale && now >= wd_next_probe_) {
+      WatchdogProbe(now);
+    }
+    return;
+  }
+  // Armed: watch loop liveness and the delay-control contract. The contract
+  // clock resets whenever the bundle is not in delay control or the
+  // queue-delay estimate is within budget — only an *unbroken* violation
+  // spanning `watchdog_timeout` degrades, so transient spikes while the
+  // controller reacts to arriving cross traffic never trip it.
+  if (mode_ != BundlerMode::kDelayControl ||
+      qdel <= config_.watchdog_qdel_budget) {
+    wd_qdel_ok_ = now;
+  }
+  WatchdogCause cause = WatchdogCause::kNone;
+  if (staleness > config_.watchdog_timeout) {
+    cause = WatchdogCause::kStale;
+  } else if (now - wd_qdel_ok_ > config_.watchdog_timeout) {
+    cause = WatchdogCause::kDelay;
+  }
+  if (cause != WatchdogCause::kNone) {
+    wd_degraded_ = true;
+    wd_cause_ = cause;
+    wd_degraded_since_ = now;
+    if (cause == WatchdogCause::kStale) {
+      wd_probe_backoff_ = config_.watchdog_probe_initial;
+      wd_next_probe_ = now + wd_probe_backoff_;
+    }
+    ++*ctr_wd_degrades_;
+    wd_log_.emplace_back(now, WatchdogEvent::kDegrade);
+    if (sim_->trace().enabled(obs::TraceCat::kWatchdog)) {
+      sim_->trace().Trace(obs::TraceCat::kWatchdog, obs::TraceEv::kWdDegrade,
+                          comp_, now, static_cast<uint64_t>(staleness.nanos()),
+                          static_cast<uint64_t>(qdel.nanos()));
+    }
+  }
+}
+
+// Re-probe: a fresh epoch ctl message re-arms the receivebox's epoch state
+// (it may have missed resizes during the outage) and exercises the forward
+// path; any matched feedback it provokes ends the degradation.
+void BundleController::WatchdogProbe(TimePoint now) {
+  ++wd_probe_seq_;
+  SendEpochCtl();
+  ++*ctr_wd_probes_;
+  wd_log_.emplace_back(now, WatchdogEvent::kProbe);
+  wd_probe_backoff_ =
+      std::min(wd_probe_backoff_ * 2.0, config_.watchdog_probe_max);
+  wd_next_probe_ = now + wd_probe_backoff_;
+  if (sim_->trace().enabled(obs::TraceCat::kWatchdog)) {
+    sim_->trace().Trace(obs::TraceCat::kWatchdog, obs::TraceEv::kWdProbe,
+                        comp_, now, wd_probe_seq_,
+                        static_cast<uint64_t>(wd_probe_backoff_.nanos()));
+  }
+}
+
+void BundleController::SendEpochCtl() {
+  Packet ctl;
+  ctl.type = PacketType::kBundlerEpochCtl;
+  ctl.size_bytes = kControlBytes;
+  ctl.key.src = config_.ctl_addr;
+  ctl.key.dst = config_.receivebox_ctl_addr;
+  ctl.key.protocol = 17;
+  ctl.epoch_size_pkts = epoch_pkts_;
+  last_epoch_ctl_sent_ = sim_->now();
+  dp_->SendControl(std::move(ctl));
+}
+
+void BundleController::ControlTick() {
+  TimePoint now = sim_->now();
+
+  double tick_bps = static_cast<double>(bytes_sent_ - bytes_sent_at_last_tick_) * 8.0 /
+                    config_.control_interval.ToSeconds();
+  bytes_sent_at_last_tick_ = bytes_sent_;
+  egress_rate_bps_ = egress_rate_bps_ > 0 ? 0.9 * egress_rate_bps_ + 0.1 * tick_bps
+                                          : tick_bps;
+
+  BundleMeasurement m = meas_.Current(now);
+
+  // Feed the elasticity detector every tick (sample-and-hold between epochs)
+  // so its FFT buffer advances at a constant cadence. Use the newest single
+  // epoch's rates, not the RTT-windowed averages: the windowing would smear
+  // the 5 Hz Nimbus pulse out of the cross-traffic estimate.
+  TimeDelta qdel =
+      m.inst_rtt > m.min_rtt ? m.inst_rtt - m.min_rtt : TimeDelta::Zero();
+  // Busy gate: only read cross traffic when the bottleneck holds a genuine
+  // standing queue. The threshold sits well above the ~1 ms standing queue a
+  // delay-controlled bundle maintains, so coexisting Bundler-controlled
+  // bundles (Fig. 13) do not classify each other as buffer-filling, while
+  // tens-of-ms queues from genuinely buffer-filling flows clear it easily.
+  TimeDelta busy_thresh =
+      std::max(TimeDelta::Millis(2), m.min_rtt * 0.1);
+  if (config_.nimbus_detection) {
+    detector_.AddSample(now, m.inst_send_rate, m.inst_recv_rate, qdel, busy_thresh);
+  }
+
+  if (config_.watchdog) {
+    WatchdogTick(m);
+  }
+  const bool degraded = config_.watchdog && wd_degraded_;
+  if (!degraded) {
+    UpdateMode(m);
+  }
+
+  Rate base;
+  if (degraded) {
+    // Graceful degradation: the measurements are stale (blackout) or
+    // measure a delay shaping cannot drain (congested reverse path), so
+    // acting on them can only hurt. Open the pipe and let endhost congestion
+    // control rule — the bundle behaves like status quo until the loop heals.
+    base = config_.max_rate;
+  } else {
+    switch (mode_) {
+    case BundlerMode::kDelayControl:
+      cc_->OnMeasurement(m);
+      base = cc_->TargetRate();
+      ++*ctr_cc_updates_;
+      if (sim_->trace().enabled(obs::TraceCat::kCc)) {
+        sim_->trace().Trace(obs::TraceCat::kCc, obs::TraceEv::kCcUpdate,
+                            cc_comp_, now, obs::EncodeRate(base),
+                            static_cast<uint64_t>(m.inst_rtt.nanos()),
+                            static_cast<uint64_t>(m.acked_bytes));
+      }
+      break;
+    case BundlerMode::kPassThrough: {
+      base = pi_.Update(dp_->QueueBytes(), now);
+      // Draining the queue accumulated before the mode switch must not flood
+      // the bottleneck at a multiple of its capacity.
+      Rate mu = detector_.mu_estimate();
+      if (mu.bps() > 0 && base.bps() > 2.0 * mu.bps()) {
+        base = Rate::BitsPerSec(2.0 * mu.bps());
+      }
+      break;
+    }
+    case BundlerMode::kDisabled:
+      base = config_.max_rate;
+      break;
+    }
+  }
+
+  Rate rate = base;
+  if (!degraded && config_.nimbus_detection && mode_ != BundlerMode::kDisabled &&
+      detector_.mu_estimate().bps() > 0) {
+    rate = rate + detector_.PulseRate(now, detector_.mu_estimate());
+  }
+  // Never shape below a small fraction of the estimated capacity: the
+  // control loop's measurement cadence is proportional to the rate, so a
+  // collapse to near-zero starves the loop of epochs and takes seconds to
+  // escape, long after conditions improved.
+  double floor_bps =
+      std::max(Rate::Mbps(0.5).bps(), 0.05 * detector_.mu_estimate().bps());
+  if (rate.bps() < floor_bps) {
+    rate = Rate::BitsPerSec(floor_bps);
+  }
+  if (rate > config_.max_rate) {
+    rate = config_.max_rate;
+  }
+  dp_->SetShapedRate(rate);
+
+  if (!degraded) {
+    // While degraded the watchdog owns receivebox re-probing (exponential
+    // backoff); the periodic epoch refresh would defeat the backoff.
+    MaybeUpdateEpochSize(m);
+  }
+
+  rate_log_.Add(now, rate.Mbps());
+  double qdelay_ms =
+      rate.bps() > 0
+          ? static_cast<double>(dp_->QueueBytes()) * 8.0 / rate.bps() * 1e3
+          : 0.0;
+  queue_delay_log_.Add(now, qdelay_ms);
+
+  ++*ctr_rate_updates_;
+  const TimeDelta run = now - start_time_;
+  const TimeDelta pt =
+      passthrough_accum_ + (mode_ == BundlerMode::kPassThrough
+                                ? now - mode_entered_
+                                : TimeDelta::Zero());
+  *passthrough_frac_ =
+      run > TimeDelta::Zero() ? pt.ToSeconds() / run.ToSeconds() : 0.0;
+  if (sim_->trace().enabled(obs::TraceCat::kSendbox)) {
+    sim_->trace().Trace(obs::TraceCat::kSendbox, obs::TraceEv::kSbRate, comp_,
+                        now, obs::EncodeRate(rate),
+                        static_cast<uint64_t>(mode_),
+                        static_cast<uint64_t>(qdelay_ms * 1e6));
+  }
+}
+
+}  // namespace bundler

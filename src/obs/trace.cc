@@ -14,7 +14,7 @@ namespace {
 constexpr const char* kCatNames[] = {
     "sim",  "link", "linksched", "qdisc", "tcp",
     "sendbox", "mode", "nimbus", "pi", "cc", "shard",
-    "fault", "watchdog",
+    "fault", "watchdog", "tenant",
 };
 static_assert(sizeof(kCatNames) / sizeof(kCatNames[0]) ==
               static_cast<size_t>(TraceCat::kNumCats));
@@ -59,6 +59,9 @@ constexpr EvName kEvNames[] = {
     {TraceEv::kWdDegrade, "wd_degrade"},
     {TraceEv::kWdProbe, "wd_probe"},
     {TraceEv::kWdResync, "wd_resync"},
+    {TraceEv::kTenantAdmit, "tenant_admit"},
+    {TraceEv::kTenantReject, "tenant_reject"},
+    {TraceEv::kTenantSched, "tenant_sched"},
 };
 
 void AppendF(std::string* out, const char* fmt, ...) {

@@ -62,6 +62,7 @@ enum class TraceCat : uint8_t {
   kShard,      // cross-shard boundary packet exchange (parallel DES)
   kFault,      // fault-injector drops/holds/releases
   kWatchdog,   // sendbox feedback watchdog (degrade/probe/resync)
+  kTenant,     // multi-tenant manager: admission verdicts, hierarchy service
   kNumCats,
 };
 
@@ -128,6 +129,11 @@ enum class TraceEv : uint16_t {
   kWdDegrade,  // a=staleness_ns b=last_feedback_ns (entering degraded mode)
   kWdProbe,    // a=probe_seq b=next_backoff_ns (re-probe while degraded)
   kWdResync,   // a=degraded_ns b=rate_bps (feedback returned; warm re-seed)
+  // kTenant
+  kTenantAdmit,   // a=bundle_index b=committed_bps c=admitted_count
+  kTenantReject,  // a=bundle_index b=cause(0=bundle cap 1=rate budget)
+                  // c=committed_bps
+  kTenantSched,   // a=tenant_index b=size_bytes c=priority_band (per dequeue)
 };
 
 const char* TraceEvName(TraceEv ev);

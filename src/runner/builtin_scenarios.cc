@@ -95,6 +95,8 @@ void RegisterBuiltinScenarios() {
     RegisterFeedbackLossSweep(registry);
     RegisterRateStep(registry);
     RegisterFatTreeIncast(registry);
+    RegisterCdnEdgeFlashCrowd(registry);
+    RegisterFig15Proxy(registry);
     return true;
   }();
   (void)registered;

@@ -62,6 +62,8 @@ void RegisterFeedbackBlackout(ScenarioRegistry* registry);
 void RegisterFeedbackLossSweep(ScenarioRegistry* registry);
 void RegisterRateStep(ScenarioRegistry* registry);
 void RegisterFatTreeIncast(ScenarioRegistry* registry);
+void RegisterCdnEdgeFlashCrowd(ScenarioRegistry* registry);
+void RegisterFig15Proxy(ScenarioRegistry* registry);
 
 // Dumbbell scenarios call this when `--shards` is requested: runs the
 // partitioner to confirm the dumbbell's shape is what the serial run assumes.

@@ -31,6 +31,13 @@ struct DumbbellConfig {
   int num_bundles = 1;
   bool bundler_enabled = true;
   Sendbox::Config sendbox;  // site/address fields are filled in per bundle
+  // Routes every bundle through its source site's SendboxManager (one tenant
+  // per site) instead of a standalone Sendbox facade: same control loop, but
+  // the data plane is the hierarchical site egress and the per-bundle queue
+  // limit maps onto the manager's preallocated ring. The §7 figures keep the
+  // classic facade (pinned goldens); proxy-style scenarios that need big
+  // sendbox buffers at scale set this.
+  bool managed = false;
 
   int num_paths = 1;  // >1 = load-balanced bottleneck (§5.2 / §7.6)
   TimeDelta path_delay_spread = TimeDelta::Zero();  // extra delay per path index

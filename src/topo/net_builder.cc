@@ -144,8 +144,15 @@ NetBuilder::BundleId NetBuilder::AddBundle(const BundleSpec& spec) {
                     "bundle src and dst are both site '%s'",
                     nodes_[static_cast<size_t>(spec.src_site)].name.c_str());
   for (const BundleSpec& other : bundles_) {
-    BUNDLER_CHECK_MSG(other.src_site != spec.src_site,
-                      "two bundles originate at site '%s' (one sendbox per site egress)",
+    // Many bundles may share a source site ONLY when all of them are managed
+    // (they multiplex through one SendboxManager); a standalone sendbox still
+    // claims the site egress exclusively, and mixing the two on one site
+    // would put two shapers in series.
+    BUNDLER_CHECK_MSG(other.src_site != spec.src_site ||
+                          (!spec.tenant.empty() && !other.tenant.empty()),
+                      "two bundles originate at site '%s' (one sendbox per site "
+                      "egress; declare tenants on both to multiplex them through "
+                      "one SendboxManager)",
                       nodes_[static_cast<size_t>(spec.src_site)].name.c_str());
     // Control addresses are (site, kBundlerCtlHost): a shared destination
     // site would give both receiveboxes the same self_ctl_addr, and the
@@ -155,8 +162,60 @@ NetBuilder::BundleId NetBuilder::AddBundle(const BundleSpec& spec) {
                       "share one control address",
                       nodes_[static_cast<size_t>(spec.dst_site)].name.c_str());
   }
+  if (!spec.tenant.empty()) {
+    bool declared = false;
+    for (const auto& [node, ten] : tenants_) {
+      declared = declared || (node == spec.src_site && ten.name == spec.tenant);
+    }
+    BUNDLER_CHECK_MSG(declared,
+                      "bundle names tenant '%s', which is not declared on site "
+                      "'%s' (AddTenant first)",
+                      spec.tenant.c_str(),
+                      nodes_[static_cast<size_t>(spec.src_site)].name.c_str());
+    BUNDLER_CHECK_MSG(spec.class_weight > 0.0,
+                      "bundle for tenant '%s' needs a positive class_weight",
+                      spec.tenant.c_str());
+  }
   bundles_.push_back(spec);
   return static_cast<BundleId>(bundles_.size()) - 1;
+}
+
+void NetBuilder::AddTenant(NodeId site, const SendboxManager::TenantPolicy& policy) {
+  CheckNode(site, "AddTenant");
+  BUNDLER_CHECK_MSG(nodes_[static_cast<size_t>(site)].kind == NodeKind::kSite,
+                    "AddTenant on node '%s', which is not a site",
+                    nodes_[static_cast<size_t>(site)].name.c_str());
+  BUNDLER_CHECK_MSG(!policy.name.empty(), "tenants need a name");
+  for (const auto& [node, ten] : tenants_) {
+    BUNDLER_CHECK_MSG(node != site || ten.name != policy.name,
+                      "duplicate tenant '%s' on site '%s'", policy.name.c_str(),
+                      nodes_[static_cast<size_t>(site)].name.c_str());
+  }
+  BUNDLER_CHECK_MSG(policy.priority >= 0 && policy.priority < SiteEgress::kNumBands,
+                    "tenant '%s': priority %d outside [0, %d)", policy.name.c_str(),
+                    policy.priority, SiteEgress::kNumBands);
+  BUNDLER_CHECK_MSG(policy.weight > 0.0, "tenant '%s': weight must be positive",
+                    policy.name.c_str());
+  tenants_.emplace_back(site, policy);
+}
+
+void NetBuilder::SetSiteEgressPolicy(NodeId site, const SendboxManager::Policy& policy) {
+  CheckNode(site, "SetSiteEgressPolicy");
+  BUNDLER_CHECK_MSG(nodes_[static_cast<size_t>(site)].kind == NodeKind::kSite,
+                    "SetSiteEgressPolicy on node '%s', which is not a site",
+                    nodes_[static_cast<size_t>(site)].name.c_str());
+  for (const auto& [node, existing] : site_policies_) {
+    BUNDLER_CHECK_MSG(node != site, "site '%s' already has an egress policy",
+                      nodes_[static_cast<size_t>(site)].name.c_str());
+    (void)existing;
+  }
+  BUNDLER_CHECK_MSG(policy.max_bundles > 0,
+                    "site '%s': max_bundles must be positive",
+                    nodes_[static_cast<size_t>(site)].name.c_str());
+  BUNDLER_CHECK_MSG(!policy.aggregate_rate.IsZero(),
+                    "site '%s': aggregate rate must be nonzero",
+                    nodes_[static_cast<size_t>(site)].name.c_str());
+  site_policies_.emplace_back(site, policy);
 }
 
 NetBuilder::MonitorId NetBuilder::AddQueueMonitor(EdgeId edge, PacketPredicate filter) {
@@ -289,6 +348,23 @@ void NetBuilder::Validate() const {
     BUNDLER_CHECK_MSG(egress == 1,
                       "site '%s' has %zu egress edges; a site needs exactly one",
                       nodes_[n].name.c_str(), egress);
+  }
+
+  // A managed site (one with declared tenants) owns its egress through the
+  // SendboxManager; a classic bundle's standalone sendbox would put a second
+  // shaper in series with it.
+  for (const BundleSpec& bundle : bundles_) {
+    if (!bundle.tenant.empty()) {
+      continue;
+    }
+    for (const auto& [node, ten] : tenants_) {
+      BUNDLER_CHECK_MSG(node != bundle.src_site,
+                        "site '%s' declares tenant '%s' but also originates a "
+                        "classic (tenant-less) bundle; a site is either classic "
+                        "or managed, not both",
+                        nodes_[static_cast<size_t>(bundle.src_site)].name.c_str(),
+                        ten.name.c_str());
+    }
   }
 }
 
@@ -481,23 +557,90 @@ std::unique_ptr<Net> NetBuilder::BuildImpl(const std::vector<Simulator*>& sims,
     }
   }
 
-  // --- Phase 6: sendboxes, in bundle declaration order. This is the only
-  // construction that schedules events (the control tick), so declaration
-  // order fixes the event-id assignment and with it byte-level determinism. ---
-  net->sendboxes_.resize(bundles_.size());
-  for (size_t b = 0; b < bundles_.size(); ++b) {
-    const BundleSpec& bundle = bundles_[b];
+  // --- Phase 6: sendboxes and sendbox managers, in bundle declaration
+  // order. This is the only construction that schedules events (control
+  // ticks), so declaration order fixes the event-id assignment and with it
+  // byte-level determinism. A classic bundle constructs its standalone
+  // sendbox; the FIRST managed bundle of a site constructs that site's
+  // manager with every bundle the site declares (all later ones are already
+  // covered). ---
+  // Completes the builder-filled fields of a bundle's control config.
+  auto control_config = [&](const BundleSpec& bundle) {
+    Sendbox::Config sc = bundle.sendbox;
     const NodeDecl& src = nodes_[static_cast<size_t>(bundle.src_site)];
     const NodeDecl& dst = nodes_[static_cast<size_t>(bundle.dst_site)];
-    Sendbox::Config sc = bundle.sendbox;
     sc.local_site = src.site;
     sc.remote_site = dst.site;
     sc.ctl_addr = MakeAddress(src.site, kBundlerCtlHost);
     sc.receivebox_ctl_addr = MakeAddress(dst.site, kBundlerCtlHost);
-    EdgeId egress = site_egress[static_cast<size_t>(bundle.src_site)];
-    net->sendboxes_[b] = std::make_unique<Sendbox>(
-        sim_of(bundle.src_site), sc,
-        net->edge_entries_[static_cast<size_t>(egress)]);
+    return sc;
+  };
+  auto build_manager = [&](NodeId site_node) {
+    const NodeDecl& src = nodes_[static_cast<size_t>(site_node)];
+    SendboxManager::Policy policy;
+    for (const auto& [node, p] : site_policies_) {
+      if (node == site_node) {
+        policy = p;
+      }
+    }
+    std::vector<SendboxManager::TenantPolicy> site_tenants;
+    for (const auto& [node, ten] : tenants_) {
+      if (node == site_node) {
+        site_tenants.push_back(ten);
+      }
+    }
+    auto tenant_index = [&](const std::string& name) {
+      for (size_t t = 0; t < site_tenants.size(); ++t) {
+        if (site_tenants[t].name == name) {
+          return t;
+        }
+      }
+      BUNDLER_CHECK(false);
+      return size_t{0};
+    };
+    std::vector<SendboxManager::BundleDecl> decls;
+    for (size_t b = 0; b < bundles_.size(); ++b) {
+      if (bundles_[b].src_site != site_node) {
+        continue;
+      }
+      SendboxManager::BundleDecl decl;
+      decl.tenant = tenant_index(bundles_[b].tenant);
+      decl.class_weight = bundles_[b].class_weight;
+      decl.control = control_config(bundles_[b]);
+      net->managed_slot_[b] = {site_node, static_cast<int>(decls.size())};
+      decls.push_back(std::move(decl));
+    }
+    EdgeId egress = site_egress[static_cast<size_t>(site_node)];
+    net->managers_[static_cast<size_t>(site_node)] =
+        std::make_unique<SendboxManager>(
+            sim_of(site_node), policy, std::move(site_tenants),
+            std::move(decls), src.site,
+            MakeAddress(src.site, kBundlerCtlHost),
+            net->edge_entries_[static_cast<size_t>(egress)],
+            "s" + std::to_string(src.site));
+  };
+  net->sendboxes_.resize(bundles_.size());
+  net->managers_.resize(nodes_.size());
+  net->managed_slot_.assign(bundles_.size(), {-1, -1});
+  for (size_t b = 0; b < bundles_.size(); ++b) {
+    const BundleSpec& bundle = bundles_[b];
+    if (bundle.tenant.empty()) {
+      EdgeId egress = site_egress[static_cast<size_t>(bundle.src_site)];
+      net->sendboxes_[b] = std::make_unique<Sendbox>(
+          sim_of(bundle.src_site), control_config(bundle),
+          net->edge_entries_[static_cast<size_t>(egress)]);
+    } else if (net->managers_[static_cast<size_t>(bundle.src_site)] == nullptr) {
+      build_manager(bundle.src_site);
+    }
+  }
+  // Managed sites whose tenants declared no bundles yet still get their
+  // manager (admission machinery, counters, and the shared tick exist even
+  // when every tenant is idle), after all bundle-driven construction.
+  for (const auto& [node, ten] : tenants_) {
+    (void)ten;
+    if (net->managers_[static_cast<size_t>(node)] == nullptr) {
+      build_manager(node);
+    }
   }
 
   // --- Phase 7: routing tables. Per router, a breadth-first search over
@@ -607,15 +750,22 @@ std::unique_ptr<Net> NetBuilder::BuildImpl(const std::vector<Simulator*>& sims,
         b, dst.name.c_str(), src.name.c_str());
 
     // Feedback addressed to the sendbox control address must reach the
-    // sendbox itself, not the source host: rewrite the final-hop routers.
+    // demultiplexing point — the standalone sendbox, or the site's manager
+    // (which fans feedback out to the owning controller) — not the source
+    // host: rewrite the final-hop routers. Managed bundles of one site share
+    // the address and the target, so re-registration is a no-op.
     Address ctl = MakeAddress(src.site, kBundlerCtlHost);
+    PacketHandler* ctl_sink =
+        bundle.tenant.empty()
+            ? static_cast<PacketHandler*>(net->sendboxes_[b].get())
+            : net->managers_[static_cast<size_t>(bundle.src_site)].get();
     for (size_t r = 0; r < nodes_.size(); ++r) {
       if (nodes_[r].kind != NodeKind::kRouter) {
         continue;
       }
       EdgeId e = first_hop[r][static_cast<size_t>(bundle.src_site)];
       if (e >= 0 && edges_[static_cast<size_t>(e)].to == bundle.src_site) {
-        net->routers_[r]->AddAddressRoute(ctl, net->sendboxes_[b].get());
+        net->routers_[r]->AddAddressRoute(ctl, ctl_sink);
       }
     }
 
@@ -637,16 +787,21 @@ std::unique_ptr<Net> NetBuilder::BuildImpl(const std::vector<Simulator*>& sims,
         sched.repeat_period));
   }
 
-  // --- Phase 10: host egress (through the sendbox where one is attached). ---
+  // --- Phase 10: host egress (through the sendbox or the site's manager
+  // where one is attached). ---
   for (size_t n = 0; n < nodes_.size(); ++n) {
     if (nodes_[n].kind != NodeKind::kSite) {
       continue;
     }
     PacketHandler* egress =
         net->edge_entries_[static_cast<size_t>(site_egress[n])];
-    for (size_t b = 0; b < bundles_.size(); ++b) {
-      if (bundles_[b].src_site == static_cast<NodeId>(n)) {
-        egress = net->sendboxes_[b].get();
+    if (net->managers_[n] != nullptr) {
+      egress = net->managers_[n].get();
+    } else {
+      for (size_t b = 0; b < bundles_.size(); ++b) {
+        if (bundles_[b].src_site == static_cast<NodeId>(n)) {
+          egress = net->sendboxes_[b].get();
+        }
       }
     }
     net->hosts_[n]->set_egress(egress);
@@ -666,7 +821,10 @@ std::string NetBuilder::ToDot(const std::string& graph_name) const {
     }
     for (size_t b = 0; b < bundles_.size(); ++b) {
       if (bundles_[b].src_site == static_cast<NodeId>(n)) {
-        label += "\\n[sendbox b" + std::to_string(b) + "]";
+        label += bundles_[b].tenant.empty()
+                     ? "\\n[sendbox b" + std::to_string(b) + "]"
+                     : "\\n[b" + std::to_string(b) + " tenant " +
+                           bundles_[b].tenant + "]";
       }
       if (bundles_[b].dst_site == static_cast<NodeId>(n)) {
         label += "\\n[bundle b" + std::to_string(b) + " dst]";
@@ -796,6 +954,38 @@ Receivebox* Net::receivebox(NetBuilder::BundleId bundle) {
   BUNDLER_CHECK_MSG(bundle >= 0 && static_cast<size_t>(bundle) < receiveboxes_.size(),
                     "no bundle %d", bundle);
   return receiveboxes_[static_cast<size_t>(bundle)].get();
+}
+
+SendboxManager* Net::manager(NetBuilder::NodeId node) {
+  BUNDLER_CHECK_MSG(node >= 0 && static_cast<size_t>(node) < managers_.size() &&
+                        managers_[static_cast<size_t>(node)] != nullptr,
+                    "node %d is not a managed site", node);
+  return managers_[static_cast<size_t>(node)].get();
+}
+
+SendboxManager* Net::manager_of_bundle(NetBuilder::BundleId bundle) {
+  BUNDLER_CHECK_MSG(bundle >= 0 && static_cast<size_t>(bundle) < managed_slot_.size(),
+                    "no bundle %d", bundle);
+  const auto [node, slot] = managed_slot_[static_cast<size_t>(bundle)];
+  return node < 0 ? nullptr : managers_[static_cast<size_t>(node)].get();
+}
+
+bool Net::bundle_admitted(NetBuilder::BundleId bundle) {
+  SendboxManager* mgr = manager_of_bundle(bundle);
+  if (mgr == nullptr) {
+    return true;  // classic bundles have no admission gate
+  }
+  return mgr->admitted(
+      static_cast<size_t>(managed_slot_[static_cast<size_t>(bundle)].second));
+}
+
+BundleController* Net::bundle_controller(NetBuilder::BundleId bundle) {
+  SendboxManager* mgr = manager_of_bundle(bundle);
+  if (mgr == nullptr) {
+    return &sendboxes_[static_cast<size_t>(bundle)]->controller();
+  }
+  return mgr->controller(
+      static_cast<size_t>(managed_slot_[static_cast<size_t>(bundle)].second));
 }
 
 QueueDelayMonitor* Net::queue_monitor(NetBuilder::MonitorId id) {

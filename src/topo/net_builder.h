@@ -26,6 +26,7 @@
 
 #include "src/bundler/receivebox.h"
 #include "src/bundler/sendbox.h"
+#include "src/bundler/sendbox_manager.h"
 #include "src/net/fault_injector.h"
 #include "src/net/link.h"
 #include "src/net/link_schedule.h"
@@ -70,11 +71,21 @@ class NetBuilder {
   // edge; the receivebox interposes at the delivery end of `ingress_edge`
   // (which must lie on the forward route from src to dst). Site, address and
   // epoch fields of `sendbox` are filled in by the builder.
+  //
+  // With `tenant` empty the bundle is classic: the site gets a standalone
+  // Sendbox and may originate only this one bundle. Naming a tenant (declared
+  // earlier via AddTenant on the same source site) makes the bundle MANAGED:
+  // all managed bundles of a site multiplex through one SendboxManager —
+  // shared control tick, hierarchical egress, admission control — and
+  // `class_weight` sets the bundle's DRR share within its tenant. A site
+  // cannot mix classic and managed bundles.
   struct BundleSpec {
     NodeId src_site = -1;
     NodeId dst_site = -1;
     EdgeId ingress_edge = -1;
     Sendbox::Config sendbox;
+    std::string tenant;
+    double class_weight = 1.0;
   };
 
   // --- Graph declaration (ids are dense, in declaration order) ---
@@ -88,6 +99,16 @@ class NetBuilder {
                           LoadBalanceMode mode, std::string name = "");
 
   BundleId AddBundle(const BundleSpec& spec);
+
+  // --- Multi-tenant control plane (src/bundler/sendbox_manager.h) ---
+  // Declares a tenant on `site`, making the site MANAGED: its bundles (which
+  // must each name a declared tenant) ride one SendboxManager. Tenant order
+  // is declaration order; duplicate names on one site CHECK-fail.
+  void AddTenant(NodeId site, const SendboxManager::TenantPolicy& policy);
+  // Overrides the managed site's egress policy (aggregate rate, admission
+  // caps, shared tick period). At most once per site; optional — a managed
+  // site without one uses SendboxManager::Policy defaults.
+  void SetSiteEgressPolicy(NodeId site, const SendboxManager::Policy& policy);
 
   // Monitors observe links (every path of a multipath edge). Attach order on
   // a link follows declaration order.
@@ -206,6 +227,10 @@ class NetBuilder {
   std::vector<NodeDecl> nodes_;
   std::vector<EdgeDecl> edges_;
   std::vector<BundleSpec> bundles_;
+  // Tenant declarations in order (the order fixes tenant indices per site)
+  // and per-site policy overrides (at most one per site).
+  std::vector<std::pair<NodeId, SendboxManager::TenantPolicy>> tenants_;
+  std::vector<std::pair<NodeId, SendboxManager::Policy>> site_policies_;
   std::vector<MonitorDecl> monitors_;
   std::vector<ScheduleDecl> schedules_;
   std::vector<FaultDecl> faults_;
@@ -237,9 +262,20 @@ class Net {
   // for wires the delivery chain). This is what a site's egress points at.
   PacketHandler* edge_entry(NetBuilder::EdgeId edge);
 
-  // Null when the edge carries no such attachment.
+  // Null when the edge carries no such attachment (managed bundles have a
+  // SendboxManager slot instead of a standalone sendbox).
   Sendbox* sendbox(NetBuilder::BundleId bundle);
   Receivebox* receivebox(NetBuilder::BundleId bundle);
+
+  // The managed site's multiplexer (CHECK-fails when the node is not a
+  // managed site), and per-bundle views that work for classic and managed
+  // bundles alike: a classic bundle is always "admitted" and its controller
+  // is the facade's embedded one; a managed bundle's controller is null when
+  // admission rejected it.
+  SendboxManager* manager(NetBuilder::NodeId node);
+  SendboxManager* manager_of_bundle(NetBuilder::BundleId bundle);  // null=classic
+  bool bundle_admitted(NetBuilder::BundleId bundle);
+  BundleController* bundle_controller(NetBuilder::BundleId bundle);
 
   QueueDelayMonitor* queue_monitor(NetBuilder::MonitorId id);
   RateMeter* rate_meter(NetBuilder::MonitorId id);
@@ -263,6 +299,10 @@ class Net {
   std::vector<std::unique_ptr<MultipathLink>> multipaths_;
   std::vector<PacketHandler*> edge_entries_;
   std::vector<std::unique_ptr<Sendbox>> sendboxes_;
+  std::vector<std::unique_ptr<SendboxManager>> managers_;  // by site node id
+  // bundle id -> (site node, declaration slot within that site's manager);
+  // (-1, -1) for classic bundles.
+  std::vector<std::pair<NetBuilder::NodeId, int>> managed_slot_;
   std::vector<std::unique_ptr<Receivebox>> receiveboxes_;
   std::vector<std::unique_ptr<QueueDelayMonitor>> queue_monitors_;
   std::vector<std::unique_ptr<RateMeter>> rate_meters_;
